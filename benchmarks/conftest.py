@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one artifact of the paper (see DESIGN.md's
+experiment index) and prints the rows/series it reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every figure-shaped result in one go.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, lines) -> None:
+    """Print a labelled result block (visible with -s / in bench logs)."""
+    print()
+    print("== %s ==" % title)
+    for line in lines:
+        print("   %s" % line)
+    sys.stdout.flush()

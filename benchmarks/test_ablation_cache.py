@@ -1,0 +1,94 @@
+"""ABL-3: decision caching on top of the policy index (Section V-C).
+
+The second "optimizing enforcement" technique: service query streams
+are highly repetitive (the same service asks about the same users over
+and over), so an exact decision cache -- invalidated on any rule change
+and bypassed for time-sensitive rules -- should push the steady-state
+decision cost toward a dictionary lookup.
+
+Expected shape: on a repetitive workload the cached engine clearly
+beats the plain indexed engine, with a high hit rate; on a
+never-repeating workload it degrades gracefully to roughly the indexed
+cost.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.enforcement.cache import CachingEnforcementEngine
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.reasoner.index import PolicyIndex
+from repro.spatial.model import build_simple_building
+
+from benchmarks.test_scale_enforcement import build_rules, make_requests
+
+USERS = 500
+
+
+def engines():
+    spatial = build_simple_building("b", 2, 4)
+    plain_store, cached_store = PolicyIndex(), PolicyIndex()
+    build_rules(plain_store, USERS, random.Random(0))
+    build_rules(cached_store, USERS, random.Random(0))
+    plain = EnforcementEngine(
+        store=plain_store, context=EvaluationContext(spatial=spatial)
+    )
+    cached = CachingEnforcementEngine(
+        store=cached_store, context=EvaluationContext(spatial=spatial)
+    )
+    return plain, cached
+
+
+def measure(engine, requests) -> float:
+    start = time.perf_counter()
+    for request in requests:
+        engine.decide(request)
+    return (time.perf_counter() - start) / len(requests) * 1e6
+
+
+def run_ablation():
+    plain, cached = engines()
+    rng = random.Random(4)
+
+    # Repetitive workload: queries about 20 hot users, repeated.
+    hot = make_requests(20, 50, rng)
+    repetitive = [hot[rng.randrange(len(hot))] for _ in range(3000)]
+    # Cold workload: every request about a different user.
+    cold = make_requests(USERS, 3000, rng)
+
+    # Equivalence check on a mixed sample.
+    for request in (repetitive[:50] + cold[:50]):
+        assert plain.decide(request).resolution == cached.decide(request).resolution
+
+    results = {
+        "index, repetitive": measure(plain, repetitive),
+        "index+cache, repetitive": measure(cached, repetitive),
+        "index, cold": measure(plain, cold),
+        "index+cache, cold": measure(cached, cold),
+    }
+    return results, cached.cache_stats()
+
+
+def test_ablation_decision_cache(benchmark):
+    results, stats = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+
+    rows = ["%-26s %10.2f us/op" % (name, micros) for name, micros in results.items()]
+    rows.append(
+        "cache: %d hits, %d misses, hit rate %.0f%%"
+        % (stats["hits"], stats["misses"], stats["hit_rate"] * 100)
+    )
+    report("ABL-3: decision cache at %d users" % USERS, rows)
+
+    assert results["index+cache, repetitive"] < results["index, repetitive"] / 2.0, (
+        "cache must clearly win on repetitive traffic"
+    )
+    assert results["index+cache, cold"] < results["index, cold"] * 3.0, (
+        "cache must degrade gracefully on cold traffic"
+    )
+    assert stats["hit_rate"] > 0.5
+    for name, micros in results.items():
+        benchmark.extra_info[name] = round(micros, 2)

@@ -1,0 +1,90 @@
+"""ABL-2: which part of the policy index buys the speedup.
+
+DESIGN.md's second ablation: the index has two ingredients, (phase,
+category) bucketing of policies and per-user partitioning of
+preferences.  This benchmark measures decision latency with
+
+- no index (linear scan of everything),
+- policy buckets only (preferences still scanned linearly),
+- the full index (buckets + per-user preference partitions).
+
+Expected shape: with realistic populations the preference partition is
+the dominant win (preferences outnumber policies by orders of
+magnitude), and the full index beats both ablated variants.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.reasoner.index import LinearRuleStore, PolicyIndex
+from repro.spatial.model import build_simple_building
+
+from benchmarks.test_scale_enforcement import build_rules, make_requests
+
+USERS = 500
+REQUESTS = 300
+
+
+class PolicyBucketsOnly(PolicyIndex):
+    """Ablated index: policy buckets, but preferences scanned linearly."""
+
+    def candidate_preferences(self, request):
+        if request.subject_id is None:
+            return []
+        return self.preferences
+
+
+def engine_for(store_cls):
+    spatial = build_simple_building("b", 2, 4)
+    store = store_cls()
+    build_rules(store, USERS, random.Random(0))
+    return EnforcementEngine(store=store, context=EvaluationContext(spatial=spatial))
+
+
+def measure(engine, requests) -> float:
+    start = time.perf_counter()
+    for request in requests:
+        engine.decide(request)
+    return (time.perf_counter() - start) / len(requests) * 1e6
+
+
+def run_ablation():
+    requests = make_requests(USERS, REQUESTS, random.Random(3))
+    engines = {
+        "no index (linear)": engine_for(LinearRuleStore),
+        "policy buckets only": engine_for(PolicyBucketsOnly),
+        "full index": engine_for(PolicyIndex),
+    }
+    # Equivalence first: every variant must decide identically.
+    reference = [engines["no index (linear)"].decide(r).resolution for r in requests[:50]]
+    for name, engine in engines.items():
+        if name == "no index (linear)":
+            continue
+        for request, expected in zip(requests[:50], reference):
+            assert engine.decide(request).resolution == expected, name
+    return {name: measure(engine, requests) for name, engine in engines.items()}
+
+
+def test_ablation_index_variants(benchmark):
+    timings = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+
+    baseline = timings["no index (linear)"]
+    rows = [
+        "%-22s %12.1f us/op   speedup %5.1fx" % (name, micros, baseline / micros)
+        for name, micros in timings.items()
+    ]
+    report("ABL-2: index ablation at %d users" % USERS, rows)
+
+    assert timings["full index"] < timings["policy buckets only"], (
+        "per-user preference partitioning must contribute"
+    )
+    assert timings["full index"] < baseline / 3.0, (
+        "the full index must clearly beat the linear scan"
+    )
+    for name, micros in timings.items():
+        benchmark.extra_info[name] = round(micros, 2)

@@ -1,0 +1,46 @@
+"""FIG-3: the Concierge service policy document of Figure 3.
+
+Regenerates the service policy ("wifi_access_point" and
+"bluetooth_beacon" observations, "providing_service" purpose,
+service_id "Concierge") from the SmartConcierge implementation itself
+-- the document is compiled from the running service, not hand-written
+-- and benchmarks the compile+serialize path.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.language.document import ServicePolicyDocument
+from repro.core.policy import catalog
+from repro.services.concierge import SmartConcierge
+from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
+
+
+@pytest.fixture(scope="module")
+def concierge():
+    tippers = make_dbh_tippers(deploy_sensors=False)
+    tippers.define_policy(catalog.policy_service_sharing(BUILDING_ID))
+    return SmartConcierge(tippers)
+
+
+def test_fig3_document_matches_paper(benchmark, concierge):
+    document = benchmark(concierge.policy_document)
+    data = document.to_dict()
+
+    observation_names = [obs["name"] for obs in data["observations"]]
+    assert observation_names == ["wifi_access_point", "bluetooth_beacon"]
+    assert "providing_service" in data["purpose"]
+    assert data["purpose"]["service_id"] == "concierge"
+    assert "directions" in data["purpose"]["providing_service"]["description"]
+
+    # Round-trip through the wire form.
+    assert ServicePolicyDocument.from_json(document.to_json()) == document
+
+    report(
+        "FIG-3: Concierge service policy document",
+        [
+            "observations: %s" % ", ".join(observation_names),
+            "purpose: providing_service (service_id=%s)" % document.service_id,
+            "wire size: %d bytes" % len(document.to_json(indent=None)),
+        ],
+    )

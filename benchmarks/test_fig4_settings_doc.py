@@ -1,0 +1,66 @@
+"""FIG-4: the privacy-settings document of Figure 4.
+
+Regenerates the settings document (fine / coarse / no location sensing,
+with the "wifi=opt-in"/"wifi=opt-out" actuation strings) and benchmarks
+the full IoTA settings pipeline: parse document -> rebuild settings
+space -> choose per learned persona.  Reports which option each Westin
+persona's assistant selects.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.policy.settings import SettingsSpace, location_settings_space
+from repro.iota.assistant import IoTAssistant
+from repro.iota.personas import PERSONAS, generate_decisions
+from repro.iota.preference_model import PreferenceModel
+from repro.net.bus import MessageBus
+
+
+def _check_document_matches_paper():
+    data = location_settings_space().to_document().to_dict()
+    select = data["settings"][0]["select"]
+    assert [opt["description"] for opt in select] == [
+        "fine grained location sensing",
+        "coarse grained location sensing",
+        "No location sensing",
+    ]
+    assert [opt["on"] for opt in select] == [
+        "wifi=opt-in",
+        "wifi=opt-in",
+        "wifi=opt-out",
+    ]
+
+
+@pytest.fixture(scope="module")
+def persona_models():
+    return {
+        name: PreferenceModel().fit(generate_decisions(persona, 200, seed=1, noise=0.0))
+        for name, persona in PERSONAS.items()
+    }
+
+
+def test_fig4_iota_choice_benchmark(benchmark, persona_models):
+    _check_document_matches_paper()
+    document = location_settings_space().to_document()
+    wire = document.to_dict()
+
+    def choose_all():
+        choices = {}
+        for name, model in persona_models.items():
+            assistant = IoTAssistant("u", MessageBus(), model=model)
+            space = SettingsSpace.from_document(type(document).from_dict(wire))
+            choices[name] = assistant.choose_selection(space)["location"]
+        return choices
+
+    choices = benchmark(choose_all)
+
+    # Expected shape: stricter personas pick stricter options.
+    assert choices["unconcerned"] == "fine"
+    assert choices["fundamentalist"] == "off"
+    assert choices["pragmatist"] in ("fine", "coarse")
+
+    report(
+        "FIG-4: settings document and per-persona IoTA choice",
+        ["%-16s -> %s" % (name, key) for name, key in sorted(choices.items())],
+    )

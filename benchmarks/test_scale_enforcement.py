@@ -1,0 +1,157 @@
+"""SCALE-1: enforcement cost vs. number of users and policies.
+
+Section V-C: "With large number of users, services, policies, and
+preferences the cost of enforcement can be large enough to be
+prohibitive in any real setting.  To overcome this challenge, we are
+working on techniques for optimizing enforcement."
+
+This benchmark quantifies that claim on our implementation: per-request
+decision latency under a naive linear rule scan vs. the bucketed policy
+index, as the population grows.  Expected shape: linear cost grows with
+the rule count; indexed cost stays nearly flat, so the speedup factor
+grows with scale.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy import catalog
+from repro.core.policy.base import DataRequest, DecisionPhase, Effect, RequesterKind
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.policy.preference import UserPreference
+from repro.core.reasoner.index import LinearRuleStore, PolicyIndex
+from repro.spatial.model import build_simple_building
+
+CATEGORIES = [
+    DataCategory.LOCATION,
+    DataCategory.PRESENCE,
+    DataCategory.OCCUPANCY,
+    DataCategory.ENERGY_USE,
+    DataCategory.MEETING_DETAILS,
+]
+
+
+def build_rules(store, users: int, rng: random.Random) -> int:
+    """Populate ``store`` with building policies and per-user preferences."""
+    store.add_policy(catalog.policy_2_emergency_location("b"))
+    store.add_policy(catalog.policy_service_sharing("b"))
+    store.add_policy(catalog.policy_1_comfort(["b-1001", "b-1002"]))
+    rules = 3
+    for index in range(users):
+        user_id = "user-%05d" % index
+        for pref_no in range(3):
+            category = rng.choice(CATEGORIES)
+            store.add_preference(
+                UserPreference(
+                    preference_id="%s-p%d" % (user_id, pref_no),
+                    user_id=user_id,
+                    description="generated",
+                    effect=rng.choice([Effect.ALLOW, Effect.DENY]),
+                    categories=(category,),
+                    phases=(DecisionPhase.SHARING,),
+                    granularity_cap=rng.choice(list(GranularityLevel)),
+                )
+            )
+            rules += 1
+    return rules
+
+
+def make_requests(users: int, count: int, rng: random.Random):
+    return [
+        DataRequest(
+            requester_id="svc",
+            requester_kind=RequesterKind.BUILDING_SERVICE,
+            phase=DecisionPhase.SHARING,
+            category=rng.choice(CATEGORIES),
+            subject_id="user-%05d" % rng.randrange(users),
+            space_id="b-1001",
+            timestamp=float(rng.randrange(86400)),
+            purpose=Purpose.PROVIDING_SERVICE,
+        )
+        for _ in range(count)
+    ]
+
+
+def engine_with(store_cls, users: int, seed: int = 0):
+    spatial = build_simple_building("b", 2, 4)
+    store = store_cls()
+    rng = random.Random(seed)
+    rules = build_rules(store, users, rng)
+    engine = EnforcementEngine(
+        store=store, context=EvaluationContext(spatial=spatial)
+    )
+    return engine, rules
+
+
+def measure(engine, requests) -> float:
+    """Mean microseconds per decision."""
+    start = time.perf_counter()
+    for request in requests:
+        engine.decide(request)
+    return (time.perf_counter() - start) / len(requests) * 1e6
+
+
+def test_scale_enforcement_crossover(benchmark):
+    """The series the paper's Section V-C predicts: linear scan blows
+    up with population, the index stays flat."""
+    benchmark.pedantic(_run_crossover, iterations=1, rounds=1)
+
+
+def _run_crossover():
+    rng = random.Random(1)
+    rows = ["%8s %8s %14s %14s %9s" % ("users", "rules", "linear us/op", "index us/op", "speedup")]
+    speedups = {}
+    for users in (10, 100, 1000):
+        requests = make_requests(users, 300, rng)
+        linear_engine, rules = engine_with(LinearRuleStore, users)
+        index_engine, _ = engine_with(PolicyIndex, users)
+
+        # Decisions must be identical before timing means anything.
+        for request in requests[:50]:
+            a = linear_engine.decide(request).resolution
+            b = index_engine.decide(request).resolution
+            assert a == b, "index changed a decision"
+
+        linear_us = measure(linear_engine, requests)
+        index_us = measure(index_engine, requests)
+        speedups[users] = linear_us / index_us
+        rows.append(
+            "%8d %8d %14.1f %14.1f %8.1fx"
+            % (users, rules, linear_us, index_us, speedups[users])
+        )
+    report("SCALE-1: enforcement decision latency (linear vs index)", rows)
+
+    # Shape assertions: the index wins at scale, and its advantage grows.
+    assert speedups[1000] > 5.0, "index should dominate at 1000 users"
+    assert speedups[1000] > speedups[10], "speedup should grow with scale"
+
+
+def test_scale_enforcement_indexed_benchmark(benchmark):
+    """pytest-benchmark datapoint: indexed decision at 1000 users."""
+    engine, rules = engine_with(PolicyIndex, 1000)
+    requests = make_requests(1000, 1000, random.Random(2))
+    iterator = iter(requests * 1000)
+
+    def one_decision():
+        engine.decide(next(iterator))
+
+    benchmark(one_decision)
+    benchmark.extra_info["rules"] = rules
+
+
+def test_scale_enforcement_linear_benchmark(benchmark):
+    """pytest-benchmark datapoint: linear-scan decision at 1000 users."""
+    engine, rules = engine_with(LinearRuleStore, 1000)
+    requests = make_requests(1000, 200, random.Random(2))
+    iterator = iter(requests * 10000)
+
+    def one_decision():
+        engine.decide(next(iterator))
+
+    benchmark(one_decision)
+    benchmark.extra_info["rules"] = rules

@@ -1,0 +1,117 @@
+"""SCALE-2: sustained observation ingest of the full DBH inventory.
+
+Runs the complete Section-II sensor fleet (40 cameras, 60 APs, 200
+beacons, 100 power meters, plus the per-room comfort loop) against a
+populated building, with capture-phase enforcement on and off, and
+reports the throughput and the overhead of privacy compliance.
+
+Expected shape: enforcement adds a bounded constant-factor overhead
+relative to a do-nothing ingest (the raw baseline stores blindly and
+pays for nothing else), while dropping the unauthorized streams -- the
+cost Section V-C says must be "minimized", not zero.  The absolute
+number is the practical bound: enforced ingest must stay far above the
+observation rate a real building of this size produces (hundreds of
+observations per second).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.policy import catalog
+from repro.spatial.model import SpaceType
+from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
+from repro.simulation.inhabitants import generate_inhabitants
+from repro.simulation.mobility import BuildingWorld
+
+POPULATION = 40
+TICKS = 12
+TICK_SPACING_S = 120.0
+NOON = 12 * 3600.0
+
+
+def build_setup(enforce_capture: bool):
+    tippers = make_dbh_tippers(enforce_capture=enforce_capture)
+    rooms = [s.space_id for s in tippers.spatial.spaces_of_type(SpaceType.ROOM)]
+    tippers.define_policy(catalog.policy_1_comfort(rooms))
+    tippers.define_policy(catalog.policy_2_emergency_location(BUILDING_ID))
+    tippers.define_policy(catalog.policy_service_sharing(BUILDING_ID))
+    inhabitants = generate_inhabitants(tippers.spatial, POPULATION, seed=5)
+    for person in inhabitants:
+        tippers.add_user(person.profile)
+    world = BuildingWorld(tippers.spatial, inhabitants, seed=5)
+    return tippers, world
+
+
+def run_ingest(tippers, world) -> dict:
+    start = time.perf_counter()
+    for tick in range(TICKS):
+        now = NOON + tick * TICK_SPACING_S
+        world.step(now)
+        tippers.tick(now, world)
+    elapsed = time.perf_counter() - start
+    stats = tippers.sensor_manager.stats
+    return {
+        "elapsed_s": elapsed,
+        "sampled": stats.sampled,
+        "stored": stats.stored,
+        "dropped": stats.dropped_capture + stats.dropped_storage,
+        "sampled_per_s": stats.sampled / elapsed,
+    }
+
+
+def test_scale_ingest_overhead(benchmark):
+    results = benchmark.pedantic(_run_both, iterations=1, rounds=1)
+    enforced, raw = results
+
+    overhead = (
+        (raw["sampled_per_s"] / enforced["sampled_per_s"])
+        if enforced["sampled_per_s"]
+        else float("inf")
+    )
+    rows = [
+        "%-24s %12s %12s" % ("", "enforced", "raw"),
+        "%-24s %12d %12d" % ("observations sampled", enforced["sampled"], raw["sampled"]),
+        "%-24s %12d %12d" % ("observations stored", enforced["stored"], raw["stored"]),
+        "%-24s %12d %12d" % ("observations dropped", enforced["dropped"], raw["dropped"]),
+        "%-24s %10.0f/s %10.0f/s" % ("ingest throughput", enforced["sampled_per_s"], raw["sampled_per_s"]),
+        "privacy-compliance overhead: %.2fx" % overhead,
+    ]
+    report("SCALE-2: full-inventory ingest, enforcement on vs off", rows)
+
+    # Shape assertions.
+    assert enforced["sampled"] == raw["sampled"], "same physical world"
+    assert enforced["stored"] < raw["stored"], "unauthorized streams dropped"
+    assert enforced["dropped"] > 0
+    assert raw["dropped"] == 0
+    assert overhead < 30.0, "compliance overhead must stay a bounded constant"
+    assert enforced["sampled_per_s"] > 2000, (
+        "enforced ingest must comfortably exceed a real building's "
+        "observation rate"
+    )
+
+    benchmark.extra_info["overhead_factor"] = round(overhead, 3)
+    benchmark.extra_info["stored_enforced"] = enforced["stored"]
+    benchmark.extra_info["stored_raw"] = raw["stored"]
+
+
+def _run_both():
+    enforced = run_ingest(*build_setup(enforce_capture=True))
+    raw = run_ingest(*build_setup(enforce_capture=False))
+    return enforced, raw
+
+
+def test_scale_ingest_enforced_tick_benchmark(benchmark):
+    """pytest-benchmark datapoint: one enforced capture sweep."""
+    tippers, world = build_setup(enforce_capture=True)
+    state = {"tick": 0}
+
+    def one_tick():
+        now = NOON + state["tick"] * TICK_SPACING_S
+        state["tick"] += 1
+        world.step(now)
+        tippers.tick(now, world)
+
+    benchmark(one_tick)
+    benchmark.extra_info["sensors"] = tippers.sensor_manager.count()

@@ -1,0 +1,125 @@
+"""The Section II-A inference attack, and how enforcement blunts it.
+
+The paper motivates privacy-aware buildings with this attack: WiFi
+association logs ("just MAC addresses and timestamps") plus simple
+heuristics reveal whether someone is staff, faculty, or a grad student.
+
+This example simulates several working days of Donald Bren Hall, runs
+the role-inference attack on the stored data, and then repeats the run
+with users opted into de-identified (aggregate) capture -- the
+building keeps anonymous head-count data, but the per-person timing
+patterns the attack feeds on are gone.
+
+Run:  python examples/inference_attack.py
+"""
+
+import dataclasses
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel
+from repro.core.policy import catalog
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.core.policy.preference import UserPreference
+from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
+from repro.simulation.inhabitants import generate_inhabitants
+from repro.simulation.mobility import BuildingWorld
+
+DAYS = 3
+TICKS_PER_DAY = 48  # one capture sweep every 30 simulated minutes
+POPULATION = 30
+
+
+def simulate(deidentify: bool) -> dict:
+    """Run the simulation; optionally cap everyone at AGGREGATE capture."""
+    tippers = make_dbh_tippers()
+    # This building's admin makes location collection *negotiable*
+    # (mandatory=False): a mandatory emergency policy would override
+    # user granularity caps under the NEGOTIATE strategy, which is
+    # exactly the Policy-2-vs-Preference-2 conflict the other examples
+    # demonstrate.
+    tippers.define_policy(
+        dataclasses.replace(
+            catalog.policy_2_emergency_location(BUILDING_ID), mandatory=False
+        )
+    )
+    tippers.define_policy(catalog.policy_service_sharing(BUILDING_ID))
+    inhabitants = generate_inhabitants(tippers.spatial, POPULATION, seed=11)
+    for person in inhabitants:
+        tippers.add_user(person.profile)
+        if deidentify:
+            tippers.submit_preference(
+                UserPreference(
+                    preference_id="deid:%s" % person.user_id,
+                    user_id=person.user_id,
+                    description="capture my data de-identified only",
+                    effect=Effect.ALLOW,
+                    categories=(DataCategory.LOCATION,),
+                    phases=(DecisionPhase.CAPTURE, DecisionPhase.STORAGE),
+                    granularity_cap=GranularityLevel.AGGREGATE,
+                )
+            )
+    world = BuildingWorld(tippers.spatial, inhabitants, seed=11)
+
+    for day in range(DAYS):
+        for tick in range(TICKS_PER_DAY):
+            now = day * 86400.0 + tick * (86400.0 / TICKS_PER_DAY)
+            world.step(now)
+            tippers.tick(now, world)
+
+    # The attack: guess each person's role from arrival/departure times.
+    correct = 0
+    attempted = 0
+    for person in inhabitants:
+        truth = next(iter(person.profile.groups))
+        guess = tippers.inference.guess_role(person.user_id)
+        if guess is None:
+            continue
+        attempted += 1
+        if guess == truth:
+            correct += 1
+    return {
+        "stored": tippers.datastore.count(),
+        "attempted": attempted,
+        "correct": correct,
+        "population": POPULATION,
+    }
+
+
+def main() -> None:
+    print("Simulating %d days of DBH with %d inhabitants..." % (DAYS, POPULATION))
+    precise = simulate(deidentify=False)
+    coarse = simulate(deidentify=True)
+
+    print()
+    print("%-34s %14s %14s" % ("", "precise", "de-identified"))
+    print("-" * 64)
+    print("%-34s %14d %14d" % ("observations stored", precise["stored"], coarse["stored"]))
+    print(
+        "%-34s %13d/%d %13d/%d"
+        % (
+            "role guesses attempted",
+            precise["attempted"], precise["population"],
+            coarse["attempted"], coarse["population"],
+        )
+    )
+    print(
+        "%-34s %14s %14s"
+        % (
+            "roles guessed correctly",
+            "%d (%.0f%%)" % (
+                precise["correct"],
+                100.0 * precise["correct"] / max(1, precise["attempted"]),
+            ),
+            "%d (%.0f%%)" % (
+                coarse["correct"],
+                100.0 * coarse["correct"] / max(1, coarse["attempted"]),
+            ),
+        )
+    )
+    print()
+    print("With de-identified capture the building still sees anonymous")
+    print("readings (enough for head-counts and comfort control), but the")
+    print("per-person timing patterns the attack feeds on are gone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Privacy-aware smart buildings (ICDCS 2017 reproduction).
+
+This package reproduces the framework described in "Towards
+Privacy-Aware Smart Buildings: Capturing, Communicating, and Enforcing
+Privacy Policies and Preferences" (Pappachan et al., ICDCS 2017).
+
+The three pillars of the paper map to three subpackages:
+
+- :mod:`repro.irr` -- IoT Resource Registries, which advertise
+  machine-readable data-collection policies for nearby resources.
+- :mod:`repro.iota` -- IoT Assistants, personal agents that discover
+  registries, notify users about relevant practices, and configure
+  privacy settings on their behalf.
+- :mod:`repro.tippers` -- the privacy-aware building management system
+  (TIPPERS), which captures sensor data and enforces building policies
+  and user preferences when storing data or serving it to services.
+
+Supporting substrates live in :mod:`repro.spatial` (hierarchical space
+model), :mod:`repro.sensors` (sensor ontology and simulated drivers),
+:mod:`repro.net` (message bus), :mod:`repro.services` (building
+services), and :mod:`repro.simulation` (the synthetic Donald Bren Hall
+testbed).  The paper's machine-readable policy language and the
+reasoning/enforcement machinery are in :mod:`repro.core`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConflictError,
+    EnforcementError,
+    PolicyError,
+    ReproError,
+    SchemaError,
+    SpatialError,
+)
+
+__all__ = [
+    "ReproError",
+    "PolicyError",
+    "SchemaError",
+    "SpatialError",
+    "ConflictError",
+    "EnforcementError",
+    "__version__",
+]

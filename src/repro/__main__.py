@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+figure1 [--population N] [--persona NAME]
+    Run the paper's Figure-1 interaction end to end and print the
+    per-step report.
+lint
+    Lint the default DBH policy set against the deployed sensors.
+inventory
+    Print the synthetic Donald Bren Hall inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.simulation.scenario import run_figure1_scenario
+
+    report = run_figure1_scenario(
+        population=args.population, mary_persona=args.persona
+    )
+    for step in report.steps:
+        print("step %2d | %-48s %7.3fs" % (step.step, step.title, step.elapsed_s))
+        print("        |   %s" % step.detail)
+    print("before opt-out: %s | after opt-out: %s" % (
+        "ALLOWED" if report.location_allowed_before_optout else "DENIED",
+        "ALLOWED" if report.location_allowed_after_optout else "DENIED",
+    ))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.policy import catalog
+    from repro.core.reasoner.analysis import analyze_policies, errors_only
+    from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
+    from repro.spatial.model import SpaceType
+
+    tippers = make_dbh_tippers()
+    rooms = [s.space_id for s in tippers.spatial.spaces_of_type(SpaceType.ROOM)]
+    policies = [
+        catalog.policy_1_comfort(rooms),
+        catalog.policy_2_emergency_location(BUILDING_ID),
+        catalog.policy_3_meeting_room_access(rooms[:5]),
+        catalog.policy_service_sharing(BUILDING_ID),
+    ]
+    deployed = {s.sensor_type for s in tippers.sensor_manager.sensors()}
+    findings = analyze_policies(policies, deployed_sensor_types=deployed)
+    if not findings:
+        print("policy set is clean")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1 if errors_only(findings) else 0
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from repro.simulation.dbh import make_dbh_tippers
+    from repro.spatial.model import SpaceType
+
+    tippers = make_dbh_tippers()
+    spatial = tippers.spatial
+    print("spaces:")
+    for space_type in SpaceType:
+        count = len(spatial.spaces_of_type(space_type))
+        if count:
+            print("  %-10s %4d" % (space_type.value, count))
+    print("sensors:")
+    by_type: dict = {}
+    for sensor in tippers.sensor_manager.sensors():
+        by_type[sensor.sensor_type] = by_type.get(sensor.sensor_type, 0) + 1
+    for sensor_type, count in sorted(by_type.items()):
+        print("  %-20s %4d" % (sensor_type, count))
+    print("total sensors: %d" % tippers.sensor_manager.count())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Privacy-aware smart buildings (ICDCS 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = subparsers.add_parser("figure1", help="run the Figure-1 interaction")
+    figure1.add_argument("--population", type=int, default=25)
+    figure1.add_argument(
+        "--persona",
+        choices=("unconcerned", "pragmatist", "fundamentalist"),
+        default="fundamentalist",
+    )
+    figure1.set_defaults(func=_cmd_figure1)
+
+    lint = subparsers.add_parser("lint", help="lint the default policy set")
+    lint.set_defaults(func=_cmd_lint)
+
+    inventory = subparsers.add_parser("inventory", help="print the DBH inventory")
+    inventory.set_defaults(func=_cmd_inventory)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.language` -- the machine-readable policy language
+  (Section IV): schema, vocabulary, durations, documents, builders.
+- :mod:`repro.core.policy` -- typed building policies, user
+  preferences, conditions, and settings spaces (Section III).
+- :mod:`repro.core.reasoner` -- matching, conflict detection and
+  resolution, and the policy index (Sections III-B and V-C).
+- :mod:`repro.core.enforcement` -- the runtime engine that applies
+  resolved policies at capture, storage, processing, and sharing time
+  (Section V-C).
+"""

@@ -1,0 +1,106 @@
+"""Append-only audit log of enforcement decisions.
+
+Every decision the engine takes is recorded, so users (through their
+IoTA) and building admins can review what happened to the data -- the
+transparency half of the paper's accountability story.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.language.vocabulary import GranularityLevel
+from repro.core.policy.base import DataRequest, DecisionPhase, Effect
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One enforcement decision, flattened for storage."""
+
+    timestamp: float
+    requester_id: str
+    phase: DecisionPhase
+    category: str
+    subject_id: Optional[str]
+    space_id: Optional[str]
+    effect: Effect
+    granularity: GranularityLevel
+    reasons: Tuple[str, ...]
+    notify_user: bool
+
+    @property
+    def allowed(self) -> bool:
+        return self.effect is Effect.ALLOW
+
+
+class AuditLog:
+    """In-memory audit log with query helpers.
+
+    ``capacity`` bounds memory: once full, the oldest half is discarded
+    (coarse but O(1) amortized), with ``dropped`` counting the loss.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self._records: List[AuditRecord] = []
+        self._capacity = capacity
+        self.dropped = 0
+
+    def append(self, record: AuditRecord) -> None:
+        if len(self._records) >= self._capacity:
+            keep = self._capacity // 2
+            self.dropped += len(self._records) - keep
+            self._records = self._records[-keep:]
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(
+        self,
+        subject_id: Optional[str] = None,
+        requester_id: Optional[str] = None,
+        phase: Optional[DecisionPhase] = None,
+        predicate: Optional[Callable[[AuditRecord], bool]] = None,
+    ) -> List[AuditRecord]:
+        """Records matching every provided filter."""
+        result = []
+        for record in self._records:
+            if subject_id is not None and record.subject_id != subject_id:
+                continue
+            if requester_id is not None and record.requester_id != requester_id:
+                continue
+            if phase is not None and record.phase is not phase:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def denials(self, subject_id: Optional[str] = None) -> List[AuditRecord]:
+        return self.records(
+            subject_id=subject_id, predicate=lambda r: r.effect is Effect.DENY
+        )
+
+    def notifications_pending(self, subject_id: str) -> List[AuditRecord]:
+        """Records whose outcome the subject should be told about."""
+        return self.records(subject_id=subject_id, predicate=lambda r: r.notify_user)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts by outcome, for dashboards and benchmarks."""
+        counts: Counter = Counter()
+        for record in self._records:
+            counts[record.effect.value] += 1
+            if record.allowed and record.granularity is not GranularityLevel.PRECISE:
+                counts["degraded"] += 1
+            if record.notify_user:
+                counts["notify"] += 1
+        counts["total"] = len(self._records)
+        counts["dropped"] = self.dropped
+        return dict(counts)

@@ -1,0 +1,114 @@
+"""Decision caching: the second Section V-C optimization.
+
+Most requests in a building are repetitive -- the same service asking
+for the same user's location with the same purpose, tick after tick.
+:class:`CachingEnforcementEngine` memoizes resolutions keyed on every
+request field except the timestamp, and remains *exact*:
+
+- an entry is only written when no candidate rule for the request has a
+  time-sensitive condition (so the timestamp provably cannot change the
+  outcome), and
+- the whole cache is invalidated whenever the rule store's version
+  changes (a submitted preference takes effect immediately).
+
+Every decision -- cached or not -- is still written to the audit log,
+preserving the "every decision audited" invariant.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.core.enforcement.engine import Decision, EnforcementEngine
+from repro.core.policy.base import DataRequest
+from repro.core.reasoner.resolution import Resolution, resolve
+
+
+class CachingEnforcementEngine(EnforcementEngine):
+    """An enforcement engine with an exact decision cache."""
+
+    def __init__(self, *args: object, cache_capacity: int = 50_000, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive")
+        self._cache: "OrderedDict[Hashable, Resolution]" = OrderedDict()
+        self._cache_capacity = cache_capacity
+        self._cached_version = self.store.version
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(request: DataRequest) -> Hashable:
+        """Every request field except the timestamp (and attributes,
+        which no rule consults)."""
+        return (
+            request.requester_id,
+            request.requester_kind,
+            request.phase,
+            request.category,
+            request.subject_id,
+            request.space_id,
+            request.purpose,
+            request.granularity,
+            request.sensor_type,
+        )
+
+    def _cacheable(self, request: DataRequest) -> bool:
+        """True when no candidate rule's outcome depends on time."""
+        for policy in self.store.candidate_policies(request):
+            if policy.condition.time_sensitive:
+                return False
+        for preference in self.store.candidate_preferences(request):
+            if preference.condition.time_sensitive:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(self, request: DataRequest) -> Decision:
+        if self.store.version != self._cached_version:
+            self._cache.clear()
+            self._cached_version = self.store.version
+
+        key = self._key(request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            self._record(request, cached)
+            return Decision(request=request, resolution=cached)
+
+        match = self._matcher.match(request)
+        resolution = resolve(match, self.strategy)
+        self._record(request, resolution)
+        if self._cacheable(request):
+            self.misses += 1
+            self._cache[key] = resolution
+            if len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        else:
+            self.uncacheable += 1
+        return Decision(request=request, resolution=resolution)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def cache_stats(self) -> dict:
+        total = self.hits + self.misses + self.uncacheable
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+            "hit_rate": self.hits / total if total else 0.0,
+            "size": len(self._cache),
+        }

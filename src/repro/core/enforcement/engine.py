@@ -1,0 +1,180 @@
+"""The enforcement engine: the building's policy decision point.
+
+One engine instance sits inside TIPPERS.  Sensor managers call
+:meth:`EnforcementEngine.enforce_observation` on every reading before it
+is stored (capture/storage phases); the request manager calls
+:meth:`EnforcementEngine.decide` before answering service queries
+(processing/sharing phases).  Every decision lands in the audit log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.enforcement.audit import AuditLog, AuditRecord
+from repro.core.enforcement.mechanisms import degrade_observation
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.base import (
+    DataRequest,
+    DecisionPhase,
+    Effect,
+    RequesterKind,
+)
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.reasoner.index import PolicyIndex, RuleStore
+from repro.core.reasoner.matcher import PolicyMatcher
+from repro.core.reasoner.resolution import (
+    Resolution,
+    ResolutionStrategy,
+    resolve,
+)
+from repro.sensors.base import Observation
+from repro.sensors.ontology import SensorOntology, default_ontology
+
+#: The primary data category an observation of each sensor type yields,
+#: used when turning raw observations into data requests at capture
+#: time.  Extend (or override via the engine constructor) for custom
+#: sensor types.
+DEFAULT_SENSOR_CATEGORY: Dict[str, DataCategory] = {
+    "wifi_access_point": DataCategory.LOCATION,
+    "bluetooth_beacon": DataCategory.LOCATION,
+    "camera": DataCategory.PRESENCE,
+    "power_meter": DataCategory.ENERGY_USE,
+    "temperature_sensor": DataCategory.TEMPERATURE,
+    "motion_sensor": DataCategory.OCCUPANCY,
+    "hvac_unit": DataCategory.TEMPERATURE,
+    "id_card_reader": DataCategory.IDENTITY,
+}
+
+#: The purpose attached to capture-time requests per sensor type,
+#: reflecting why the building runs that subsystem.
+DEFAULT_SENSOR_PURPOSE: Dict[str, Purpose] = {
+    "wifi_access_point": Purpose.EMERGENCY_RESPONSE,
+    "bluetooth_beacon": Purpose.PROVIDING_SERVICE,
+    "camera": Purpose.SECURITY,
+    "power_meter": Purpose.ENERGY_MANAGEMENT,
+    "temperature_sensor": Purpose.COMFORT,
+    "motion_sensor": Purpose.COMFORT,
+    "hvac_unit": Purpose.COMFORT,
+    "id_card_reader": Purpose.ACCESS_CONTROL,
+}
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A resolution plus the audit record it produced."""
+
+    request: DataRequest
+    resolution: Resolution
+
+    @property
+    def allowed(self) -> bool:
+        return self.resolution.allowed
+
+    @property
+    def granularity(self) -> GranularityLevel:
+        return self.resolution.granularity
+
+
+class EnforcementEngine:
+    """Resolves and applies policies at every decision phase."""
+
+    def __init__(
+        self,
+        store: Optional[RuleStore] = None,
+        context: Optional[EvaluationContext] = None,
+        strategy: ResolutionStrategy = ResolutionStrategy.NEGOTIATE,
+        ontology: Optional[SensorOntology] = None,
+        sensor_categories: Optional[Dict[str, DataCategory]] = None,
+        sensor_purposes: Optional[Dict[str, Purpose]] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self.store = store if store is not None else PolicyIndex()
+        self.context = context if context is not None else EvaluationContext()
+        self.strategy = strategy
+        self.ontology = ontology if ontology is not None else default_ontology()
+        self.sensor_categories = dict(DEFAULT_SENSOR_CATEGORY)
+        if sensor_categories:
+            self.sensor_categories.update(sensor_categories)
+        self.sensor_purposes = dict(DEFAULT_SENSOR_PURPOSE)
+        if sensor_purposes:
+            self.sensor_purposes.update(sensor_purposes)
+        self.audit = audit if audit is not None else AuditLog()
+        self._matcher = PolicyMatcher(self.store, self.context)
+
+    # ------------------------------------------------------------------
+    # Query-path enforcement (steps 9-10 of Figure 1)
+    # ------------------------------------------------------------------
+    def decide(self, request: DataRequest) -> Decision:
+        """Resolve ``request`` and record the outcome."""
+        match = self._matcher.match(request)
+        resolution = resolve(match, self.strategy)
+        self._record(request, resolution)
+        return Decision(request=request, resolution=resolution)
+
+    # ------------------------------------------------------------------
+    # Capture-path enforcement (steps 2-3 of Figure 1)
+    # ------------------------------------------------------------------
+    def request_for_observation(
+        self, observation: Observation, phase: DecisionPhase
+    ) -> DataRequest:
+        """The data request implied by capturing/storing ``observation``."""
+        category = self.sensor_categories.get(
+            observation.sensor_type, DataCategory.ACTIVITY
+        )
+        purpose = self.sensor_purposes.get(observation.sensor_type)
+        return DataRequest(
+            requester_id="building",
+            requester_kind=RequesterKind.BUILDING,
+            phase=phase,
+            category=category,
+            subject_id=observation.subject_id,
+            space_id=observation.space_id,
+            timestamp=observation.timestamp,
+            purpose=purpose,
+            granularity=GranularityLevel.PRECISE,
+            sensor_type=observation.sensor_type,
+        )
+
+    def enforce_observation(
+        self,
+        observation: Observation,
+        phase: DecisionPhase = DecisionPhase.STORAGE,
+    ) -> Optional[Observation]:
+        """``observation`` as it may be stored, or ``None`` if dropped.
+
+        Non-attributable observations about nobody (ambient temperature)
+        still pass through policy resolution -- the building must have a
+        policy authorizing their collection -- but no user preference
+        can apply to them.
+        """
+        request = self.request_for_observation(observation, phase)
+        decision = self.decide(request)
+        if not decision.allowed:
+            return None
+        return degrade_observation(
+            observation,
+            decision.granularity,
+            spatial=self.context.spatial,
+            ontology=self.ontology,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record(self, request: DataRequest, resolution: Resolution) -> None:
+        self.audit.append(
+            AuditRecord(
+                timestamp=request.timestamp,
+                requester_id=request.requester_id,
+                phase=request.phase,
+                category=request.category.value,
+                subject_id=request.subject_id,
+                space_id=request.space_id,
+                effect=resolution.effect,
+                granularity=resolution.granularity,
+                reasons=resolution.reasons,
+                notify_user=resolution.notify_user,
+            )
+        )

@@ -1,0 +1,49 @@
+"""The machine-readable policy language (Section IV).
+
+The language is JSON-based ("We choose JSON over other formats mainly
+because of the rapid adoption of JSON-based REST APIs") and validated
+against JSON-Schema-v4-style schemas implemented in
+:mod:`repro.core.language.schema`.
+
+Three document kinds mirror the paper's figures:
+
+- :class:`~repro.core.language.document.ResourcePolicyDocument`
+  (Figure 2): what a building resource collects, why, and for how long.
+- :class:`~repro.core.language.document.ServicePolicyDocument`
+  (Figure 3): what a service consumes and for what purpose.
+- :class:`~repro.core.language.document.SettingsDocument` (Figure 4):
+  the privacy settings a user (via her IoTA) can choose among.
+"""
+
+from repro.core.language.document import (
+    ObservationDescription,
+    ResourceDescription,
+    ResourcePolicyDocument,
+    ServicePolicyDocument,
+    SettingOptionDescription,
+    SettingsDocument,
+)
+from repro.core.language.duration import Duration
+from repro.core.language.schema import Schema, validate
+from repro.core.language.vocabulary import (
+    DataCategory,
+    GranularityLevel,
+    Purpose,
+    PURPOSE_TAXONOMY,
+)
+
+__all__ = [
+    "Duration",
+    "Schema",
+    "validate",
+    "Purpose",
+    "PURPOSE_TAXONOMY",
+    "DataCategory",
+    "GranularityLevel",
+    "ObservationDescription",
+    "ResourceDescription",
+    "ResourcePolicyDocument",
+    "ServicePolicyDocument",
+    "SettingOptionDescription",
+    "SettingsDocument",
+]

@@ -1,0 +1,223 @@
+"""Fluent builders for policy documents.
+
+Building admins (and tests) assemble documents step by step; the
+builders defer validation to the document constructors, so a builder
+can be partially filled and reused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.language.document import (
+    ObservationDescription,
+    ResourceDescription,
+    ResourcePolicyDocument,
+    ServicePolicyDocument,
+    SettingOptionDescription,
+    SettingsDocument,
+)
+from repro.core.language.duration import Duration
+from repro.core.language.vocabulary import GranularityLevel
+from repro.errors import SchemaError
+
+
+class ResourcePolicyBuilder:
+    """Builds a :class:`ResourcePolicyDocument` one resource at a time.
+
+    Example
+    -------
+    >>> doc = (
+    ...     ResourcePolicyBuilder()
+    ...     .resource("Location tracking in DBH")
+    ...     .at("Donald Bren Hall", "Building", owner="UCI")
+    ...     .sensor("WiFi Access Point", "Installed inside the building")
+    ...     .purpose("emergency response", "Location is stored continuously")
+    ...     .observes("MAC address of the device", "...")
+    ...     .retain("P6M")
+    ...     .done()
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self) -> None:
+        self._resources: List[ResourceDescription] = []
+        self._current: Optional[Dict[str, object]] = None
+
+    def resource(self, name: str, resource_id: str = "") -> "ResourcePolicyBuilder":
+        """Start a new resource entry named ``name``."""
+        self._flush()
+        self._current = {
+            "name": name,
+            "resource_id": resource_id,
+            "purposes": {},
+            "observations": [],
+        }
+        return self
+
+    def _require_current(self) -> Dict[str, object]:
+        if self._current is None:
+            raise SchemaError("call .resource(name) before describing it")
+        return self._current
+
+    def at(
+        self,
+        spatial_name: str,
+        spatial_type: str,
+        owner: str = "",
+        more_info: str = "",
+    ) -> "ResourcePolicyBuilder":
+        current = self._require_current()
+        current["spatial_name"] = spatial_name
+        current["spatial_type"] = spatial_type
+        current["owner_name"] = owner
+        current["owner_more_info"] = more_info
+        return self
+
+    def sensor(self, sensor_type: str, description: str = "") -> "ResourcePolicyBuilder":
+        current = self._require_current()
+        current["sensor_type"] = sensor_type
+        current["sensor_description"] = description
+        return self
+
+    def purpose(self, key: str, description: str = "") -> "ResourcePolicyBuilder":
+        purposes = self._require_current()["purposes"]
+        assert isinstance(purposes, dict)
+        purposes[key] = description
+        return self
+
+    def observes(
+        self,
+        name: str,
+        description: str = "",
+        granularity: Optional[GranularityLevel] = None,
+        inferred: Optional[List[str]] = None,
+    ) -> "ResourcePolicyBuilder":
+        observations = self._require_current()["observations"]
+        assert isinstance(observations, list)
+        observations.append(
+            ObservationDescription(
+                name=name,
+                description=description,
+                granularity=granularity,
+                inferred=tuple(inferred or ()),
+            )
+        )
+        return self
+
+    def retain(self, duration: str, description: str = "") -> "ResourcePolicyBuilder":
+        current = self._require_current()
+        current["retention"] = Duration.parse(duration)
+        current["retention_description"] = description
+        return self
+
+    def settings_url(self, url: str) -> "ResourcePolicyBuilder":
+        self._require_current()["settings_url"] = url
+        return self
+
+    def done(self) -> "ResourcePolicyBuilder":
+        """Finish the current resource entry."""
+        self._flush()
+        return self
+
+    def _flush(self) -> None:
+        if self._current is None:
+            return
+        current = self._current
+        self._current = None
+        self._resources.append(
+            ResourceDescription(
+                name=str(current["name"]),
+                resource_id=str(current.get("resource_id", "")),
+                spatial_name=str(current.get("spatial_name", "")),
+                spatial_type=str(current.get("spatial_type", "Building")),
+                owner_name=str(current.get("owner_name", "")),
+                owner_more_info=str(current.get("owner_more_info", "")),
+                sensor_type=str(current.get("sensor_type", "")),
+                sensor_description=str(current.get("sensor_description", "")),
+                purposes=dict(current["purposes"]),  # type: ignore[arg-type]
+                observations=tuple(current["observations"]),  # type: ignore[arg-type]
+                retention=current.get("retention"),  # type: ignore[arg-type]
+                retention_description=str(current.get("retention_description", "")),
+                settings_url=str(current.get("settings_url", "")),
+            )
+        )
+
+    def build(self) -> ResourcePolicyDocument:
+        self._flush()
+        return ResourcePolicyDocument(self._resources)
+
+
+class ServicePolicyBuilder:
+    """Builds a :class:`ServicePolicyDocument`."""
+
+    def __init__(self, service_id: str) -> None:
+        self._service_id = service_id
+        self._observations: List[ObservationDescription] = []
+        self._purposes: Dict[str, str] = {}
+        self._developer_name = ""
+        self._third_party = False
+
+    def observes(
+        self,
+        name: str,
+        description: str = "",
+        granularity: Optional[GranularityLevel] = None,
+        inferred: Optional[List[str]] = None,
+    ) -> "ServicePolicyBuilder":
+        self._observations.append(
+            ObservationDescription(
+                name=name,
+                description=description,
+                granularity=granularity,
+                inferred=tuple(inferred or ()),
+            )
+        )
+        return self
+
+    def purpose(self, key: str, description: str = "") -> "ServicePolicyBuilder":
+        self._purposes[key] = description
+        return self
+
+    def developer(self, name: str, third_party: bool = False) -> "ServicePolicyBuilder":
+        self._developer_name = name
+        self._third_party = third_party
+        return self
+
+    def build(self) -> ServicePolicyDocument:
+        return ServicePolicyDocument(
+            service_id=self._service_id,
+            observations=self._observations,
+            purposes=self._purposes,
+            developer_name=self._developer_name,
+            third_party=self._third_party,
+        )
+
+
+class SettingsBuilder:
+    """Builds a :class:`SettingsDocument` of select groups."""
+
+    def __init__(self) -> None:
+        self._groups: List[List[SettingOptionDescription]] = []
+        self._names: List[str] = []
+
+    def group(self, name: str = "") -> "SettingsBuilder":
+        self._groups.append([])
+        self._names.append(name)
+        return self
+
+    def option(
+        self,
+        description: str,
+        on: str,
+        granularity: Optional[GranularityLevel] = None,
+    ) -> "SettingsBuilder":
+        if not self._groups:
+            self.group()
+        self._groups[-1].append(
+            SettingOptionDescription(description=description, on=on, granularity=granularity)
+        )
+        return self
+
+    def build(self) -> SettingsDocument:
+        return SettingsDocument(self._groups, self._names)

@@ -1,0 +1,383 @@
+"""A JSON-Schema (draft-4 subset) validator, implemented from scratch.
+
+The paper represents its language with "a JSON-Schema v4".  We implement
+the subset the language needs -- ``type``, ``properties``, ``required``,
+``items``, ``enum``, ``pattern``, ``minimum``/``maximum``,
+``minItems``/``minLength``, ``additionalProperties``, ``oneOf`` -- so
+documents can be validated without a third-party dependency.
+
+Use :func:`validate` directly or wrap a schema dict in :class:`Schema`.
+Validation errors carry a JSON-pointer-style path to the offending
+element.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SchemaError
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class ValidationError(SchemaError):
+    """Schema validation failure, with the path to the bad element."""
+
+    def __init__(self, message: str, path: str) -> None:
+        super().__init__("%s (at %s)" % (message, path or "/"))
+        self.path = path or "/"
+        self.reason = message
+
+
+def _check_type(value: Any, expected: Any, path: str) -> None:
+    expected_list = expected if isinstance(expected, list) else [expected]
+    for type_name in expected_list:
+        if type_name not in _TYPE_CHECKS:
+            raise SchemaError("schema uses unknown type %r" % type_name)
+        if _TYPE_CHECKS[type_name](value):
+            return
+    raise ValidationError(
+        "expected type %s, got %s" % ("/".join(expected_list), type(value).__name__),
+        path,
+    )
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "") -> None:
+    """Validate ``instance`` against ``schema``.
+
+    Raises :class:`ValidationError` on the first violation found.
+    ``path`` is the JSON-pointer prefix used in error messages.
+    """
+    if not isinstance(schema, dict):
+        raise SchemaError("schema must be a dict, got %r" % (schema,))
+
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            raise ValidationError(
+                "%r not in enum %r" % (instance, schema["enum"]), path
+            )
+
+    if "type" in schema:
+        _check_type(instance, schema["type"], path)
+
+    if "oneOf" in schema:
+        matches = 0
+        errors: List[str] = []
+        for candidate in schema["oneOf"]:
+            try:
+                validate(instance, candidate, path)
+                matches += 1
+            except ValidationError as exc:
+                errors.append(exc.reason)
+        if matches != 1:
+            raise ValidationError(
+                "matched %d of oneOf branches (%s)" % (matches, "; ".join(errors)),
+                path,
+            )
+
+    if isinstance(instance, str):
+        if "pattern" in schema and re.search(schema["pattern"], instance) is None:
+            raise ValidationError(
+                "%r does not match pattern %r" % (instance, schema["pattern"]), path
+            )
+        if "minLength" in schema and len(instance) < schema["minLength"]:
+            raise ValidationError(
+                "string shorter than minLength %d" % schema["minLength"], path
+            )
+        if "maxLength" in schema and len(instance) > schema["maxLength"]:
+            raise ValidationError(
+                "string longer than maxLength %d" % schema["maxLength"], path
+            )
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise ValidationError(
+                "%r below minimum %r" % (instance, schema["minimum"]), path
+            )
+        if "maximum" in schema and instance > schema["maximum"]:
+            raise ValidationError(
+                "%r above maximum %r" % (instance, schema["maximum"]), path
+            )
+
+    if isinstance(instance, dict):
+        properties: Dict[str, Any] = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in instance:
+                raise ValidationError("missing required property %r" % key, path)
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child_path = "%s/%s" % (path, key)
+            if key in properties:
+                validate(value, properties[key], child_path)
+            elif isinstance(additional, dict):
+                validate(value, additional, child_path)
+            elif additional is False:
+                raise ValidationError("unexpected property %r" % key, path)
+
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            raise ValidationError(
+                "array shorter than minItems %d" % schema["minItems"], path
+            )
+        if "maxItems" in schema and len(instance) > schema["maxItems"]:
+            raise ValidationError(
+                "array longer than maxItems %d" % schema["maxItems"], path
+            )
+        if "items" in schema:
+            for index, item in enumerate(instance):
+                validate(item, schema["items"], "%s/%d" % (path, index))
+
+
+class Schema:
+    """A reusable schema with ``is_valid`` / ``validate`` helpers."""
+
+    def __init__(self, definition: Dict[str, Any], title: Optional[str] = None) -> None:
+        if not isinstance(definition, dict):
+            raise SchemaError("schema definition must be a dict")
+        self.definition = definition
+        self.title = title or definition.get("title", "schema")
+
+    def validate(self, instance: Any) -> None:
+        validate(instance, self.definition)
+
+    def is_valid(self, instance: Any) -> bool:
+        try:
+            self.validate(instance)
+            return True
+        except ValidationError:
+            return False
+
+    def errors(self, instance: Any) -> List[str]:
+        """Human-readable violations (currently first-failure only)."""
+        try:
+            self.validate(instance)
+            return []
+        except ValidationError as exc:
+            return [str(exc)]
+
+    def __repr__(self) -> str:
+        return "Schema(%r)" % self.title
+
+
+# ----------------------------------------------------------------------
+# Schemas for the language's three document kinds (Figures 2-4).
+# ----------------------------------------------------------------------
+
+_HUMAN_DESCRIPTION = {
+    "type": "object",
+    "properties": {"more_info": {"type": "string"}},
+}
+
+_SPATIAL = {
+    "type": "object",
+    "required": ["name", "type"],
+    "properties": {
+        "name": {"type": "string", "minLength": 1},
+        "type": {
+            "type": "string",
+            "enum": ["Campus", "Building", "Floor", "Zone", "Corridor", "Room"],
+        },
+        "id": {"type": "string"},
+    },
+}
+
+_CONTEXT = {
+    "type": "object",
+    "required": ["location"],
+    "properties": {
+        "location": {
+            "type": "object",
+            "required": ["spatial"],
+            "properties": {
+                "spatial": _SPATIAL,
+                "location_owner": {
+                    "type": "object",
+                    "required": ["name"],
+                    "properties": {
+                        "name": {"type": "string"},
+                        "human_description": _HUMAN_DESCRIPTION,
+                    },
+                },
+            },
+        },
+        "contact": {"type": "string"},
+        "data_security": {"type": "string"},
+    },
+}
+
+_SENSOR = {
+    "type": "object",
+    "required": ["type"],
+    "properties": {
+        "type": {"type": "string", "minLength": 1},
+        "description": {"type": "string"},
+        "subsystem": {"type": "string"},
+    },
+}
+
+_PURPOSE_MAP = {
+    "type": "object",
+    "additionalProperties": {
+        "oneOf": [
+            {
+                "type": "object",
+                "properties": {"description": {"type": "string"}},
+            },
+            {"type": "string"},
+        ]
+    },
+}
+
+_OBSERVATION = {
+    "type": "object",
+    "required": ["name"],
+    "properties": {
+        "name": {"type": "string", "minLength": 1},
+        "description": {"type": "string"},
+        "granularity": {
+            "type": "string",
+            "enum": ["precise", "coarse", "building", "aggregate", "none"],
+        },
+        "inferred": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+_RETENTION = {
+    "type": "object",
+    "required": ["duration"],
+    "properties": {
+        "duration": {"type": "string", "pattern": r"^P(\d+[YMWD])*(T(\d+[HMS])+)?$"},
+        "description": {"type": "string"},
+    },
+}
+
+#: Schema of Figure 2: a list of resources with context, sensor,
+#: purpose, observations, and retention.
+RESOURCE_POLICY_SCHEMA = Schema(
+    {
+        "title": "resource-policy",
+        "type": "object",
+        "required": ["resources"],
+        "properties": {
+            "resources": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["info", "context", "sensor", "purpose", "observations"],
+                    "properties": {
+                        "info": {
+                            "type": "object",
+                            "required": ["name"],
+                            "properties": {
+                                "name": {"type": "string", "minLength": 1},
+                                "id": {"type": "string"},
+                            },
+                        },
+                        "context": _CONTEXT,
+                        "sensor": _SENSOR,
+                        "purpose": _PURPOSE_MAP,
+                        "observations": {
+                            "type": "array",
+                            "minItems": 1,
+                            "items": _OBSERVATION,
+                        },
+                        "retention": _RETENTION,
+                        "settings_url": {"type": "string"},
+                    },
+                },
+            }
+        },
+    }
+)
+
+#: Schema of Figure 3: a service's observations and purpose.
+SERVICE_POLICY_SCHEMA = Schema(
+    {
+        "title": "service-policy",
+        "type": "object",
+        "required": ["observations", "purpose"],
+        "properties": {
+            "observations": {
+                "type": "array",
+                "minItems": 1,
+                "items": _OBSERVATION,
+            },
+            "purpose": {
+                "type": "object",
+                "required": ["service_id"],
+                "properties": {"service_id": {"type": "string", "minLength": 1}},
+                "additionalProperties": {
+                    "oneOf": [
+                        {
+                            "type": "object",
+                            "properties": {"description": {"type": "string"}},
+                        },
+                        {"type": "string"},
+                    ]
+                },
+            },
+            "developer": {
+                "type": "object",
+                "properties": {
+                    "name": {"type": "string"},
+                    "third_party": {"type": "boolean"},
+                },
+            },
+        },
+    }
+)
+
+#: Schema of Figure 4: selectable privacy settings.
+SETTINGS_SCHEMA = Schema(
+    {
+        "title": "settings",
+        "type": "object",
+        "required": ["settings"],
+        "properties": {
+            "settings": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["select"],
+                    "properties": {
+                        "name": {"type": "string"},
+                        "select": {
+                            "type": "array",
+                            "minItems": 1,
+                            "items": {
+                                "type": "object",
+                                "required": ["description", "on"],
+                                "properties": {
+                                    "description": {"type": "string", "minLength": 1},
+                                    "on": {"type": "string", "minLength": 1},
+                                    "key": {"type": "string", "minLength": 1},
+                                    "granularity": {
+                                        "type": "string",
+                                        "enum": [
+                                            "precise",
+                                            "coarse",
+                                            "building",
+                                            "aggregate",
+                                            "none",
+                                        ],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            }
+        },
+    }
+)

@@ -1,0 +1,58 @@
+"""Typed building policies and user preferences (Section III).
+
+- :mod:`repro.core.policy.base` -- shared vocabulary: effects, decision
+  phases, and the :class:`~repro.core.policy.base.DataRequest` that
+  flows through the reasoner and enforcement engine.
+- :mod:`repro.core.policy.conditions` -- composable spatial, temporal,
+  profile, purpose, and requester conditions.
+- :mod:`repro.core.policy.building` -- building policies, including the
+  actuation and access rules of Policies 1-4 in the paper.
+- :mod:`repro.core.policy.preference` -- user preferences and service
+  permissions (Preferences 1-4 in the paper).
+- :mod:`repro.core.policy.settings` -- the settings space a building
+  exposes (Figure 4) and user selections within it.
+"""
+
+from repro.core.policy.base import DataRequest, DecisionPhase, Effect, RequesterKind
+from repro.core.policy.building import ActuationRule, BuildingPolicy
+from repro.core.policy.conditions import (
+    AllOf,
+    AnyOf,
+    CategoryCondition,
+    Condition,
+    EvaluationContext,
+    GranularityCondition,
+    Not,
+    ProfileCondition,
+    PurposeCondition,
+    RequesterCondition,
+    SpatialCondition,
+    TemporalCondition,
+)
+from repro.core.policy.preference import ServicePermission, UserPreference
+from repro.core.policy.settings import SettingChoice, SettingsSpace
+
+__all__ = [
+    "Effect",
+    "DecisionPhase",
+    "RequesterKind",
+    "DataRequest",
+    "Condition",
+    "EvaluationContext",
+    "SpatialCondition",
+    "TemporalCondition",
+    "ProfileCondition",
+    "PurposeCondition",
+    "RequesterCondition",
+    "CategoryCondition",
+    "GranularityCondition",
+    "AllOf",
+    "AnyOf",
+    "Not",
+    "BuildingPolicy",
+    "ActuationRule",
+    "UserPreference",
+    "ServicePermission",
+    "SettingsSpace",
+    "SettingChoice",
+]

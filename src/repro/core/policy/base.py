@@ -1,0 +1,93 @@
+"""Shared policy vocabulary: effects, phases, and data requests."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.errors import PolicyError
+
+
+class Effect(enum.Enum):
+    """What a matched rule does to a request."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class DecisionPhase(enum.Enum):
+    """Where in the data lifecycle a rule applies.
+
+    Section V-C: policies are enforced "when (during capture, storage,
+    processing, or sharing)".
+    """
+
+    CAPTURE = "capture"
+    STORAGE = "storage"
+    PROCESSING = "processing"
+    SHARING = "sharing"
+
+
+class RequesterKind(enum.Enum):
+    """Who is asking for the data."""
+
+    BUILDING = "building"          # the BMS itself (capture/storage)
+    BUILDING_SERVICE = "building_service"
+    THIRD_PARTY_SERVICE = "third_party_service"
+    USER = "user"                  # another inhabitant
+    EXTERNAL = "external"          # e.g. law enforcement
+
+
+@dataclass(frozen=True)
+class DataRequest:
+    """A concrete request for (or capture of) data about a subject.
+
+    This is the unit both the reasoner and the enforcement engine work
+    on: "service S requests the location of Mary at room 2011, at
+    precise granularity, for purpose providing_service, during the
+    sharing phase".
+
+    ``subject_id`` is ``None`` for non-attributable data (e.g. ambient
+    temperature), which no user preference can restrict.
+    """
+
+    requester_id: str
+    requester_kind: RequesterKind
+    phase: DecisionPhase
+    category: DataCategory
+    subject_id: Optional[str]
+    space_id: Optional[str]
+    timestamp: float
+    purpose: Optional[Purpose] = None
+    granularity: GranularityLevel = GranularityLevel.PRECISE
+    sensor_type: Optional[str] = None
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.requester_id:
+            raise PolicyError("requester_id must be non-empty")
+        if self.timestamp < 0:
+            raise PolicyError("timestamp must be non-negative")
+
+    def with_granularity(self, granularity: GranularityLevel) -> "DataRequest":
+        """A copy of this request at a different granularity."""
+        return DataRequest(
+            requester_id=self.requester_id,
+            requester_kind=self.requester_kind,
+            phase=self.phase,
+            category=self.category,
+            subject_id=self.subject_id,
+            space_id=self.space_id,
+            timestamp=self.timestamp,
+            purpose=self.purpose,
+            granularity=granularity,
+            sensor_type=self.sensor_type,
+            attributes=dict(self.attributes),
+        )
+
+    @property
+    def is_attributable(self) -> bool:
+        """Whether the data can be tied to a person."""
+        return self.subject_id is not None

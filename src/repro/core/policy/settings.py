@@ -1,0 +1,247 @@
+"""Settings spaces: the choices a building offers its users.
+
+Figure 4 of the paper shows a settings document with mutually exclusive
+options per group ("fine grained location sensing" / "coarse grained
+location sensing" / "No location sensing").  A :class:`SettingsSpace`
+is the typed form of that document: the building publishes it through
+the IRR, the IoTA picks one option per group for its user, and TIPPERS
+turns the chosen options into :class:`UserPreference` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.language.document import (
+    SettingOptionDescription,
+    SettingsDocument,
+)
+from repro.core.language.vocabulary import DataCategory, GranularityLevel
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.core.policy.preference import UserPreference
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class SettingChoice:
+    """One selectable option: a granularity for a data category."""
+
+    key: str
+    description: str
+    category: DataCategory
+    granularity: GranularityLevel
+    actuation: str
+    """The opaque ``on`` string of Figure 4 (e.g. ``"wifi=opt-in"``)."""
+
+    def to_description(self) -> SettingOptionDescription:
+        return SettingOptionDescription(
+            description=self.description,
+            on=self.actuation,
+            granularity=self.granularity,
+            key=self.key,
+        )
+
+
+@dataclass(frozen=True)
+class SettingGroup:
+    """A mutually exclusive group of choices about one data category."""
+
+    group_id: str
+    category: DataCategory
+    choices: Tuple[SettingChoice, ...]
+    default_key: str
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise PolicyError("setting group %r has no choices" % self.group_id)
+        if self.default_key not in {c.key for c in self.choices}:
+            raise PolicyError(
+                "default %r not among choices of group %r"
+                % (self.default_key, self.group_id)
+            )
+
+    def choice(self, key: str) -> SettingChoice:
+        for candidate in self.choices:
+            if candidate.key == key:
+                return candidate
+        raise PolicyError("group %r has no choice %r" % (self.group_id, key))
+
+    @property
+    def default(self) -> SettingChoice:
+        return self.choice(self.default_key)
+
+    def strictest(self) -> SettingChoice:
+        """The most privacy-protective choice (coarsest granularity)."""
+        return min(self.choices, key=lambda c: c.granularity.rank)
+
+    def most_permissive(self) -> SettingChoice:
+        return max(self.choices, key=lambda c: c.granularity.rank)
+
+    def best_at_most(self, cap: GranularityLevel) -> SettingChoice:
+        """The finest choice not exceeding ``cap``.
+
+        Falls back to the strictest choice when every option exceeds the
+        cap (e.g. the user wants NONE but the group only offers COARSE
+        and PRECISE).
+        """
+        eligible = [c for c in self.choices if c.granularity.at_most(cap)]
+        if not eligible:
+            return self.strictest()
+        return max(eligible, key=lambda c: c.granularity.rank)
+
+
+class SettingsSpace:
+    """All setting groups a building (or one resource) exposes."""
+
+    def __init__(self, groups: List[SettingGroup]) -> None:
+        seen = set()
+        for group in groups:
+            if group.group_id in seen:
+                raise PolicyError("duplicate setting group %r" % group.group_id)
+            seen.add(group.group_id)
+        self._groups = {g.group_id: g for g in groups}
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self):
+        return iter(self._groups.values())
+
+    def group(self, group_id: str) -> SettingGroup:
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise PolicyError("unknown setting group %r" % group_id) from None
+
+    def group_ids(self) -> List[str]:
+        return sorted(self._groups)
+
+    def default_selection(self) -> Dict[str, str]:
+        return {gid: g.default_key for gid, g in self._groups.items()}
+
+    def validate_selection(self, selection: Dict[str, str]) -> None:
+        """Every selected key must exist in its group."""
+        for group_id, key in selection.items():
+            self.group(group_id).choice(key)
+
+    # ------------------------------------------------------------------
+    # Language round-trip
+    # ------------------------------------------------------------------
+    def to_document(self) -> SettingsDocument:
+        groups = sorted(self._groups.values(), key=lambda g: g.group_id)
+        return SettingsDocument(
+            [[choice.to_description() for choice in g.choices] for g in groups],
+            names=[g.group_id for g in groups],
+        )
+
+    @classmethod
+    def from_document(
+        cls,
+        document: SettingsDocument,
+        categories: Optional[List[DataCategory]] = None,
+    ) -> "SettingsSpace":
+        """Reconstruct a space from a settings document.
+
+        Documents do not carry the data category per group; callers
+        supply one per group, defaulting to LOCATION (the category of
+        the paper's Figure 4 example).
+        """
+        groups = []
+        for index, (name, options) in enumerate(zip(document.names, document.groups)):
+            category = (
+                categories[index]
+                if categories is not None and index < len(categories)
+                else DataCategory.LOCATION
+            )
+            choices = []
+            for opt_index, option in enumerate(options):
+                granularity = option.granularity or GranularityLevel.PRECISE
+                choices.append(
+                    SettingChoice(
+                        key=option.key or ("option-%d" % opt_index),
+                        description=option.description,
+                        category=category,
+                        granularity=granularity,
+                        actuation=option.on,
+                    )
+                )
+            groups.append(
+                SettingGroup(
+                    group_id=name or ("group-%d" % index),
+                    category=category,
+                    choices=tuple(choices),
+                    default_key=choices[0].key,
+                )
+            )
+        return cls(groups)
+
+    # ------------------------------------------------------------------
+    # Turning selections into preferences (step 8 of Figure 1)
+    # ------------------------------------------------------------------
+    def selection_to_preferences(
+        self, user_id: str, selection: Dict[str, str]
+    ) -> List[UserPreference]:
+        """Translate a user's selection into enforceable preferences."""
+        self.validate_selection(selection)
+        preferences = []
+        for group_id, key in sorted(selection.items()):
+            choice = self.group(group_id).choice(key)
+            effect = (
+                Effect.DENY
+                if choice.granularity is GranularityLevel.NONE
+                else Effect.ALLOW
+            )
+            preferences.append(
+                UserPreference(
+                    preference_id="setting:%s:%s" % (user_id, group_id),
+                    user_id=user_id,
+                    description=choice.description,
+                    effect=effect,
+                    categories=(choice.category,),
+                    phases=(
+                        DecisionPhase.CAPTURE,
+                        DecisionPhase.STORAGE,
+                        DecisionPhase.PROCESSING,
+                        DecisionPhase.SHARING,
+                    ),
+                    granularity_cap=choice.granularity,
+                )
+            )
+        return preferences
+
+
+def location_settings_space() -> SettingsSpace:
+    """The exact settings space of the paper's Figure 4."""
+    return SettingsSpace(
+        [
+            SettingGroup(
+                group_id="location",
+                category=DataCategory.LOCATION,
+                choices=(
+                    SettingChoice(
+                        key="fine",
+                        description="fine grained location sensing",
+                        category=DataCategory.LOCATION,
+                        granularity=GranularityLevel.PRECISE,
+                        actuation="wifi=opt-in",
+                    ),
+                    SettingChoice(
+                        key="coarse",
+                        description="coarse grained location sensing",
+                        category=DataCategory.LOCATION,
+                        granularity=GranularityLevel.COARSE,
+                        actuation="wifi=opt-in",
+                    ),
+                    SettingChoice(
+                        key="off",
+                        description="No location sensing",
+                        category=DataCategory.LOCATION,
+                        granularity=GranularityLevel.NONE,
+                        actuation="wifi=opt-out",
+                    ),
+                ),
+                default_key="coarse",
+            )
+        ]
+    )

@@ -1,0 +1,228 @@
+"""Static analysis of a building's policy set (Section V-A).
+
+The paper's first open challenge is policy specification: admins write
+policies by hand, and a bad set fails silently (a sensor nobody
+authorized, a retention nobody bounded, two policies that can never
+both be satisfied).  This module lints a policy set the way a compiler
+lints code, producing :class:`Finding` objects the admin console can
+display before activation.
+
+Checks implemented:
+
+- ``shadowed-policy``: an ALLOW policy whose whole scope is covered by
+  a same-or-higher-priority DENY policy (it can never take effect).
+- ``unbounded-retention``: a policy authorizes collection of
+  person-linked data with no retention.
+- ``unauthorized-sensor``: a deployed sensor type no policy covers
+  (all its data will be dropped at capture).
+- ``unused-policy``: a policy naming sensor types that are not
+  deployed anywhere.
+- ``redundant-policy``: two ALLOW policies with identical scope.
+- ``over-collection``: a policy collects at finer granularity than any
+  purpose it declares plausibly needs (e.g. PRECISE identity for
+  energy management).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.language.vocabulary import (
+    DataCategory,
+    GranularityLevel,
+    Purpose,
+)
+from repro.core.policy.base import Effect
+from repro.core.policy.building import BuildingPolicy
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding."""
+
+    check: str
+    severity: Severity
+    policy_ids: Tuple[str, ...]
+    message: str
+
+    def __str__(self) -> str:
+        return "[%s] %s: %s" % (self.severity.value, self.check, self.message)
+
+
+#: The finest granularity each purpose plausibly needs.  Collection
+#: finer than this for *only* that purpose is flagged as over-collection.
+_PURPOSE_NEEDS: Dict[Purpose, GranularityLevel] = {
+    Purpose.EMERGENCY_RESPONSE: GranularityLevel.PRECISE,
+    Purpose.PROVIDING_SERVICE: GranularityLevel.PRECISE,
+    Purpose.SECURITY: GranularityLevel.PRECISE,
+    Purpose.ACCESS_CONTROL: GranularityLevel.PRECISE,
+    Purpose.LOGGING: GranularityLevel.COARSE,
+    Purpose.COMFORT: GranularityLevel.COARSE,
+    Purpose.ENERGY_MANAGEMENT: GranularityLevel.AGGREGATE,
+    Purpose.RESEARCH: GranularityLevel.AGGREGATE,
+    Purpose.MARKETING: GranularityLevel.AGGREGATE,
+    Purpose.LAW_ENFORCEMENT: GranularityLevel.PRECISE,
+}
+
+
+def _scope_key(policy: BuildingPolicy) -> Tuple:
+    return (
+        frozenset(policy.categories),
+        frozenset(policy.sensor_types),
+        frozenset(policy.space_ids),
+        frozenset(policy.phases),
+        frozenset(policy.purposes),
+    )
+
+
+def _covers(denier: BuildingPolicy, allower: BuildingPolicy) -> bool:
+    """Whether ``denier``'s scope includes all of ``allower``'s.
+
+    Empty selectors are wildcards; a wildcard covers anything, and a
+    non-empty selector only covers a non-empty subset.
+    """
+
+    def selector_covers(outer: tuple, inner: tuple) -> bool:
+        if not outer:
+            return True
+        if not inner:
+            return False
+        return set(inner) <= set(outer)
+
+    return (
+        selector_covers(denier.categories, allower.categories)
+        and selector_covers(denier.sensor_types, allower.sensor_types)
+        and selector_covers(denier.space_ids, allower.space_ids)
+        and selector_covers(denier.purposes, allower.purposes)
+        and set(allower.phases) <= set(denier.phases)
+    )
+
+
+def analyze_policies(
+    policies: Sequence[BuildingPolicy],
+    deployed_sensor_types: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint a policy set; returns findings sorted by severity.
+
+    ``deployed_sensor_types`` enables the unauthorized-sensor and
+    unused-policy checks; pass the set of sensor types actually
+    installed in the building.
+    """
+    findings: List[Finding] = []
+
+    allowers = [p for p in policies if p.effect is Effect.ALLOW]
+    deniers = [p for p in policies if p.effect is Effect.DENY]
+
+    # shadowed-policy
+    for allower in allowers:
+        for denier in deniers:
+            if denier.priority >= allower.priority and _covers(denier, allower):
+                findings.append(
+                    Finding(
+                        check="shadowed-policy",
+                        severity=Severity.ERROR,
+                        policy_ids=(allower.policy_id, denier.policy_id),
+                        message="%r can never take effect: %r denies its whole scope"
+                        % (allower.policy_id, denier.policy_id),
+                    )
+                )
+
+    # unbounded-retention
+    for policy in allowers:
+        if policy.collects_personal_data and policy.retention is None:
+            capture_phases = {p.value for p in policy.phases} & {"capture", "storage"}
+            if capture_phases:
+                findings.append(
+                    Finding(
+                        check="unbounded-retention",
+                        severity=Severity.WARNING,
+                        policy_ids=(policy.policy_id,),
+                        message="%r collects personal data with no retention bound"
+                        % policy.policy_id,
+                    )
+                )
+
+    # redundant-policy
+    seen: Dict[Tuple, str] = {}
+    for policy in allowers:
+        key = _scope_key(policy)
+        if key in seen:
+            findings.append(
+                Finding(
+                    check="redundant-policy",
+                    severity=Severity.INFO,
+                    policy_ids=(seen[key], policy.policy_id),
+                    message="%r and %r have identical scope"
+                    % (seen[key], policy.policy_id),
+                )
+            )
+        else:
+            seen[key] = policy.policy_id
+
+    # over-collection
+    for policy in allowers:
+        if not policy.purposes or not policy.collects_personal_data:
+            continue
+        needed = max(
+            (_PURPOSE_NEEDS.get(purpose, GranularityLevel.PRECISE) for purpose in policy.purposes),
+            key=lambda g: g.rank,
+        )
+        if policy.granularity.rank > needed.rank:
+            findings.append(
+                Finding(
+                    check="over-collection",
+                    severity=Severity.WARNING,
+                    policy_ids=(policy.policy_id,),
+                    message="%r collects at %s but its purposes need at most %s"
+                    % (policy.policy_id, policy.granularity.value, needed.value),
+                )
+            )
+
+    # deployment cross-checks
+    if deployed_sensor_types is not None:
+        authorized: Set[str] = set()
+        for policy in allowers:
+            if policy.sensor_types:
+                authorized |= set(policy.sensor_types)
+            else:
+                # A wildcard sensor selector authorizes everything it
+                # governs; treat as covering all deployed types.
+                authorized |= set(deployed_sensor_types)
+        for sensor_type in sorted(deployed_sensor_types - authorized):
+            findings.append(
+                Finding(
+                    check="unauthorized-sensor",
+                    severity=Severity.WARNING,
+                    policy_ids=(),
+                    message="deployed sensor type %r is covered by no policy; "
+                    "all its data will be dropped at capture" % sensor_type,
+                )
+            )
+        for policy in policies:
+            missing = set(policy.sensor_types) - deployed_sensor_types
+            if policy.sensor_types and missing == set(policy.sensor_types):
+                findings.append(
+                    Finding(
+                        check="unused-policy",
+                        severity=Severity.INFO,
+                        policy_ids=(policy.policy_id,),
+                        message="%r only names sensor types that are not deployed"
+                        % policy.policy_id,
+                    )
+                )
+
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    findings.sort(key=lambda f: (order[f.severity], f.check, f.policy_ids))
+    return findings
+
+
+def errors_only(findings: Sequence[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity is Severity.ERROR]

@@ -1,0 +1,50 @@
+"""Exception hierarchy shared across the package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at integration boundaries while tests
+assert on the precise subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpatialError(ReproError):
+    """Invalid spatial model operation (unknown space, bad hierarchy)."""
+
+
+class SchemaError(ReproError):
+    """A policy document failed schema validation or parsing."""
+
+
+class PolicyError(ReproError):
+    """A policy or preference object is malformed or inconsistent."""
+
+
+class ConflictError(ReproError):
+    """A policy/preference conflict could not be resolved."""
+
+
+class EnforcementError(ReproError):
+    """The enforcement engine could not reach a decision."""
+
+
+class SensorError(ReproError):
+    """Invalid sensor configuration or actuation request."""
+
+
+class RegistryError(ReproError):
+    """IoT Resource Registry registration/discovery failure."""
+
+
+class ServiceError(ReproError):
+    """A building service request was malformed or unauthorized."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failure (timeout, dropped message)."""
+
+
+class StorageError(ReproError):
+    """Datastore failure (unknown stream, bad query window)."""

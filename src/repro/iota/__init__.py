@@ -1,0 +1,34 @@
+"""IoT Assistants (IoTAs).
+
+"IoT Assistants ... selectively notify users about the policies
+advertised by IRRs and configure any available privacy settings"
+(Section I), using "a model of Mary's privacy preferences learned over
+time" (Section II-C).
+
+- :mod:`repro.iota.personas` -- privacy personas (after Westin's
+  segmentation) that generate the labeled decisions the learner needs.
+- :mod:`repro.iota.preference_model` -- a from-scratch logistic
+  preference learner over data-practice features, in the spirit of the
+  personalized privacy assistant of Liu et al. (SOUPS'16).
+- :mod:`repro.iota.notifications` -- relevance-thresholded, fatigue-
+  aware notification selection (Section V-B).
+- :mod:`repro.iota.assistant` -- the assistant itself: discovery,
+  notification, settings configuration, conflict reporting.
+"""
+
+from repro.iota.assistant import IoTAssistant
+from repro.iota.notifications import Notification, NotificationManager
+from repro.iota.personas import PERSONAS, Persona, generate_decisions
+from repro.iota.preference_model import DataPractice, LabeledDecision, PreferenceModel
+
+__all__ = [
+    "IoTAssistant",
+    "Persona",
+    "PERSONAS",
+    "generate_decisions",
+    "DataPractice",
+    "LabeledDecision",
+    "PreferenceModel",
+    "Notification",
+    "NotificationManager",
+]

@@ -1,0 +1,313 @@
+"""The IoT Assistant.
+
+Steps (5)-(8) of Figure 1: the assistant discovers registries near its
+user, fetches machine-readable policies, surfaces the relevant ones as
+notifications, configures available privacy settings from its learned
+preference model, and submits the result to TIPPERS -- receiving back
+any conflicts the building detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.language.document import (
+    ResourceDescription,
+    ResourcePolicyDocument,
+    ServicePolicyDocument,
+    SettingsDocument,
+)
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.preference import UserPreference
+from repro.core.policy.serialization import preference_to_dict
+from repro.core.policy.settings import SettingsSpace
+from repro.errors import NetworkError, SchemaError
+from repro.iota.notifications import Notification, NotificationManager
+from repro.iota.preference_model import DataPractice, LabeledDecision, PreferenceModel
+from repro.net.bus import MessageBus, RpcError
+
+#: Normalization of sensor-type spellings found in documents to the
+#: primary data category their observations yield.
+_SENSOR_TYPE_CATEGORY: Dict[str, DataCategory] = {
+    "wifi_access_point": DataCategory.LOCATION,
+    "bluetooth_beacon": DataCategory.LOCATION,
+    "camera": DataCategory.PRESENCE,
+    "power_meter": DataCategory.ENERGY_USE,
+    "temperature_sensor": DataCategory.TEMPERATURE,
+    "motion_sensor": DataCategory.OCCUPANCY,
+    "hvac_unit": DataCategory.TEMPERATURE,
+    "id_card_reader": DataCategory.IDENTITY,
+}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace(" ", "_").replace("-", "_")
+
+
+def _category_for(observation_name: str, inferred: Tuple[str, ...], sensor_type: str) -> DataCategory:
+    """Best-effort mapping of an advertised observation to a category.
+
+    Priority: an explicit ``inferred`` entry naming a category, then the
+    observation name itself (TIPPERS compiles observation names from
+    category values), then the sensor type's primary category, then
+    ACTIVITY as the conservative catch-all.
+    """
+    for hint in inferred:
+        try:
+            return DataCategory(_normalize(hint))
+        except ValueError:
+            continue
+    try:
+        return DataCategory(_normalize(observation_name))
+    except ValueError:
+        pass
+    return _SENSOR_TYPE_CATEGORY.get(_normalize(sensor_type), DataCategory.ACTIVITY)
+
+
+def practices_from_resource(resource: ResourceDescription) -> List[DataPractice]:
+    """The data practices a resource advertisement describes."""
+    purposes = resource.named_purposes() or [Purpose.LOGGING]
+    retention_days = (
+        resource.retention.total_seconds() / 86400.0
+        if resource.retention is not None
+        else 30.0
+    )
+    practices = []
+    for observation in resource.observations:
+        category = _category_for(
+            observation.name, observation.inferred, resource.sensor_type
+        )
+        granularity = observation.granularity or GranularityLevel.PRECISE
+        for purpose in purposes:
+            practices.append(
+                DataPractice(
+                    category=category,
+                    purpose=purpose,
+                    granularity=granularity,
+                    retention_days=retention_days,
+                    third_party=False,
+                )
+            )
+    return practices
+
+
+def practices_from_service(document: ServicePolicyDocument) -> List[DataPractice]:
+    """The data practices a service advertisement describes."""
+    purposes = document.named_purposes() or [Purpose.PROVIDING_SERVICE]
+    practices = []
+    for observation in document.observations:
+        category = _category_for(observation.name, observation.inferred, "")
+        granularity = observation.granularity or GranularityLevel.PRECISE
+        for purpose in purposes:
+            practices.append(
+                DataPractice(
+                    category=category,
+                    purpose=purpose,
+                    granularity=granularity,
+                    third_party=document.third_party,
+                )
+            )
+    return practices
+
+
+@dataclass
+class DiscoveryResult:
+    """What one discovery sweep found."""
+
+    registry_ids: List[str] = field(default_factory=list)
+    resources: List[ResourceDescription] = field(default_factory=list)
+    services: List[ServicePolicyDocument] = field(default_factory=list)
+    settings: List[SettingsDocument] = field(default_factory=list)
+    notifications: List[Notification] = field(default_factory=list)
+
+
+class IoTAssistant:
+    """A personal privacy assistant for one user."""
+
+    def __init__(
+        self,
+        user_id: str,
+        bus: MessageBus,
+        model: Optional[PreferenceModel] = None,
+        notifications: Optional[NotificationManager] = None,
+        tippers_endpoint: str = "tippers",
+        registry_endpoints: Optional[List[str]] = None,
+        notification_threshold: float = 0.4,
+    ) -> None:
+        self.user_id = user_id
+        self.bus = bus
+        self.model = model if model is not None else PreferenceModel()
+        self.notifications = (
+            notifications
+            if notifications is not None
+            else NotificationManager(self.model, relevance_threshold=notification_threshold)
+        )
+        self.tippers_endpoint = tippers_endpoint
+        self.registry_endpoints = list(registry_endpoints or [])
+        self.reported_conflicts: List[str] = []
+        self.last_discovery: Optional[DiscoveryResult] = None
+
+    # ------------------------------------------------------------------
+    # Step 5: discovery
+    # ------------------------------------------------------------------
+    def discover(self, space_id: str, now: float) -> DiscoveryResult:
+        """Query every known registry for policies near ``space_id``.
+
+        Registries that are unreachable or do not cover the space are
+        skipped.  Relevant practices are offered to the notification
+        manager (step 6).
+        """
+        result = DiscoveryResult()
+        for endpoint in self.registry_endpoints:
+            try:
+                response = self.bus.call(
+                    endpoint, "discover", {"space_id": space_id}, retries=2
+                )
+            except (RpcError, NetworkError):
+                continue
+            result.registry_ids.append(response.get("registry_id", endpoint))
+            for entry in response.get("advertisements", []):
+                self._absorb_advertisement(entry, now, result)
+        self.last_discovery = result
+        return result
+
+    def _absorb_advertisement(
+        self, entry: Dict[str, Any], now: float, result: DiscoveryResult
+    ) -> None:
+        kind = entry.get("kind")
+        source = entry.get("advertisement_id", "")
+        try:
+            if kind == "resource":
+                document = ResourcePolicyDocument.from_dict(entry["document"])
+                for resource in document.resources:
+                    result.resources.append(resource)
+                    for practice in practices_from_resource(resource):
+                        notification = self.notifications.offer(
+                            now,
+                            practice,
+                            summary="%s collects %s for %s"
+                            % (
+                                resource.name,
+                                practice.category.value,
+                                practice.purpose.value,
+                            ),
+                            source=source,
+                        )
+                        if notification is not None:
+                            result.notifications.append(notification)
+            elif kind == "service":
+                document = ServicePolicyDocument.from_dict(entry["document"])
+                result.services.append(document)
+                for practice in practices_from_service(document):
+                    notification = self.notifications.offer(
+                        now,
+                        practice,
+                        summary="service %s uses %s for %s"
+                        % (
+                            document.service_id,
+                            practice.category.value,
+                            practice.purpose.value,
+                        ),
+                        source=source,
+                    )
+                    if notification is not None:
+                        result.notifications.append(notification)
+        except (SchemaError, KeyError):
+            # A malformed advertisement must not kill the sweep.
+            return
+        settings = entry.get("settings")
+        if settings is not None:
+            try:
+                result.settings.append(SettingsDocument.from_dict(settings))
+            except SchemaError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Step 8: configuring settings
+    # ------------------------------------------------------------------
+    def choose_selection(self, space: SettingsSpace) -> Dict[str, str]:
+        """Pick one option per group from the learned model."""
+        selection = {}
+        for group in space:
+            offered = [choice.granularity for choice in group.choices]
+            preferred = self.model.preferred_granularity(
+                category=group.category,
+                purpose=Purpose.PROVIDING_SERVICE,
+                offered=offered,
+            )
+            chosen = group.best_at_most(preferred)
+            selection[group.group_id] = chosen.key
+        return selection
+
+    def configure_building_settings(self, now: float) -> Dict[str, str]:
+        """Fetch the building's settings space, choose, and submit.
+
+        Returns the submitted selection; conflicts reported by the
+        building are recorded and surfaced as notifications.
+        """
+        response = self.bus.call(
+            self.tippers_endpoint, "get_settings_document", {}, retries=2
+        )
+        document = SettingsDocument.from_dict(response)
+        space = SettingsSpace.from_document(document)
+        selection = self.choose_selection(space)
+        submit_response = self.bus.call(
+            self.tippers_endpoint,
+            "submit_selection",
+            {"user_id": self.user_id, "selection": selection},
+            retries=2,
+        )
+        for conflict in submit_response.get("conflicts", []):
+            self.reported_conflicts.append(conflict)
+        return selection
+
+    def submit_preference(self, preference: UserPreference) -> List[str]:
+        """Send an explicit preference to the building (step 8)."""
+        response = self.bus.call(
+            self.tippers_endpoint,
+            "submit_preference",
+            {"preference": preference_to_dict(preference)},
+            retries=2,
+        )
+        conflicts = list(response.get("conflicts", []))
+        self.reported_conflicts.extend(conflicts)
+        return conflicts
+
+    def fetch_effect_preview(self, now: float, space_id: Optional[str] = None) -> List[str]:
+        """What the building will actually do with this user's data.
+
+        Returns human-readable lines ("location/sharing: blocked",
+        "location/capture: allowed at precise (mandatory policy
+        overrides your preference)") that the assistant shows after
+        configuring settings, so the user learns how much of her
+        preference was honoured (Section III-B's "partially met").
+        """
+        payload: Dict[str, Any] = {"user_id": self.user_id, "now": now}
+        if space_id is not None:
+            payload["space_id"] = space_id
+        response = self.bus.call(
+            self.tippers_endpoint, "preview_effects", payload, retries=2
+        )
+        lines = []
+        for entry in response.get("entries", []):
+            if entry["effect"] == "deny":
+                lines.append("%s/%s: blocked" % (entry["category"], entry["phase"]))
+            else:
+                suffix = (
+                    " (mandatory policy overrides your preference)"
+                    if entry.get("overridden")
+                    else ""
+                )
+                lines.append(
+                    "%s/%s: allowed at %s%s"
+                    % (entry["category"], entry["phase"], entry["granularity"], suffix)
+                )
+        return lines
+
+    # ------------------------------------------------------------------
+    # Step 7: learning from feedback
+    # ------------------------------------------------------------------
+    def record_feedback(self, practice: DataPractice, allowed: bool) -> None:
+        """Online-update the model from a user decision."""
+        self.model.update(LabeledDecision(practice=practice, allowed=allowed))

@@ -1,0 +1,21 @@
+"""IoT Resource Registries (IRRs).
+
+"IoT Resource Registries (IRRs) ... broadcast data collection policies
+and sharing practices of the IoT technologies with which users
+interact" (Section I).  An IRR holds machine-readable advertisements
+(resource policy documents, service policy documents, and settings
+documents) tagged with the spaces they cover, and answers proximity
+discovery queries from IoT Assistants (step 5 of Figure 1).
+"""
+
+from repro.irr.mud import BUILTIN_PROFILES, MUDProfile, auto_provision
+from repro.irr.registry import Advertisement, IoTResourceRegistry, discover_registries
+
+__all__ = [
+    "IoTResourceRegistry",
+    "Advertisement",
+    "discover_registries",
+    "MUDProfile",
+    "BUILTIN_PROFILES",
+    "auto_provision",
+]

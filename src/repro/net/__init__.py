@@ -1,0 +1,16 @@
+"""In-process message bus standing in for the deployment network.
+
+In the real deployment, IoTAs talk to IRRs and to TIPPERS over
+JSON-based REST APIs.  Here all components run in one process, but all
+inter-component traffic still crosses a serialization boundary: every
+request and response is encoded to JSON text and decoded again, so a
+type that would not survive the wire fails loudly in tests.
+
+The bus also injects configurable latency and message loss so
+experiments can study the framework under imperfect networks.
+"""
+
+from repro.net.bus import Endpoint, MessageBus, RpcError
+from repro.net.codec import decode_message, encode_message
+
+__all__ = ["MessageBus", "Endpoint", "RpcError", "encode_message", "decode_message"]

@@ -1,0 +1,156 @@
+"""Request/response message bus with loss and latency injection."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.codec import decode_message, encode_message
+
+
+class RpcError(NetworkError):
+    """An application-level error raised by the remote endpoint."""
+
+    def __init__(self, target: str, method: str, message: str) -> None:
+        super().__init__("%s.%s failed: %s" % (target, method, message))
+        self.target = target
+        self.method = method
+        self.remote_message = message
+
+
+class Endpoint:
+    """Something addressable on the bus.
+
+    Subclasses implement :meth:`handle`; unhandled methods raise
+    :class:`NetworkError`, which the bus reports to the caller as an
+    :class:`RpcError`.
+    """
+
+    def handle(self, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        raise NetworkError("method %r not handled" % method)
+
+
+class _CallableEndpoint(Endpoint):
+    def __init__(self, handler: Callable[[str, Dict[str, Any]], Dict[str, Any]]) -> None:
+        self._handler = handler
+
+    def handle(self, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._handler(method, payload)
+
+
+@dataclass
+class BusStats:
+    """Counters for experiments and debugging."""
+
+    calls: int = 0
+    dropped: int = 0
+    errors: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    simulated_latency_s: float = 0.0
+
+
+class MessageBus:
+    """Connects named endpoints through a JSON boundary.
+
+    ``drop_rate`` is the probability a call is lost (raising
+    :class:`NetworkError` at the caller); ``latency_s`` is accumulated
+    in :attr:`stats` rather than slept, so simulations can account for
+    network time without wall-clock cost.
+    """
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        latency_s: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise NetworkError("drop_rate must lie in [0, 1)")
+        if latency_s < 0:
+            raise NetworkError("latency_s must be non-negative")
+        self._endpoints: Dict[str, Endpoint] = {}
+        self.drop_rate = drop_rate
+        self.latency_s = latency_s
+        self._rng = rng if rng is not None else random.Random(0)
+        self.stats = BusStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, endpoint: Endpoint) -> None:
+        if not name:
+            raise NetworkError("endpoint name must be non-empty")
+        if name in self._endpoints:
+            raise NetworkError("endpoint %r already registered" % name)
+        self._endpoints[name] = endpoint
+
+    def register_handler(
+        self, name: str, handler: Callable[[str, Dict[str, Any]], Dict[str, Any]]
+    ) -> None:
+        self.register(name, _CallableEndpoint(handler))
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoints(self) -> Dict[str, Endpoint]:
+        return dict(self._endpoints)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        target: str,
+        method: str,
+        payload: Optional[Dict[str, Any]] = None,
+        retries: int = 0,
+    ) -> Dict[str, Any]:
+        """Invoke ``method`` on ``target`` with a JSON round-trip.
+
+        ``retries`` re-sends on simulated loss (not on remote errors).
+        Raises :class:`NetworkError` on loss/unknown targets and
+        :class:`RpcError` when the endpoint itself fails.
+        """
+        attempts = retries + 1
+        last_error: Optional[NetworkError] = None
+        for _ in range(attempts):
+            try:
+                return self._call_once(target, method, payload or {})
+            except RpcError:
+                raise
+            except NetworkError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _call_once(
+        self, target: str, method: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        self.stats.calls += 1
+        self.stats.simulated_latency_s += self.latency_s
+        wire_request = encode_message(
+            {"target": target, "method": method, "payload": payload}
+        )
+        self.stats.bytes_sent += len(wire_request)
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.stats.dropped += 1
+            raise NetworkError("message to %r dropped" % target)
+        request = decode_message(wire_request)
+        endpoint = self._endpoints.get(target)
+        if endpoint is None:
+            self.stats.errors += 1
+            raise NetworkError("no endpoint %r" % target)
+        try:
+            response = endpoint.handle(request["method"], request["payload"])
+        except NetworkError as exc:
+            self.stats.errors += 1
+            raise RpcError(target, method, str(exc)) from None
+        wire_response = encode_message({"payload": response if response is not None else {}})
+        self.stats.bytes_received += len(wire_response)
+        return decode_message(wire_response)["payload"]

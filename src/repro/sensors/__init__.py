@@ -1,0 +1,35 @@
+"""Sensor substrate: ontology, settings, observations, and drivers.
+
+Models Section IV-A.3/4/5 of the paper: each sensor has a *type*
+(organized into subsystems, in the spirit of the Haystack and SSN
+ontologies), a set of *settings* (valid parameters that determine its
+behaviour, e.g. capture frequency or image resolution), and produces
+*observations* (typed readings stamped with time and location).
+
+Simulated drivers in :mod:`repro.sensors.drivers` stand in for the real
+hardware of Donald Bren Hall: WiFi access points, Bluetooth beacons,
+surveillance cameras, power-outlet meters, temperature and motion
+sensors, and HVAC units.
+"""
+
+from repro.sensors.base import Observation, Sensor, SensorSettings
+from repro.sensors.ontology import (
+    ObservationField,
+    ParameterSpec,
+    SensorTypeSpec,
+    SensorOntology,
+    default_ontology,
+)
+from repro.sensors.subsystem import SensorSubsystem
+
+__all__ = [
+    "Observation",
+    "Sensor",
+    "SensorSettings",
+    "ParameterSpec",
+    "ObservationField",
+    "SensorTypeSpec",
+    "SensorOntology",
+    "default_ontology",
+    "SensorSubsystem",
+]

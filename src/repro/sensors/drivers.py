@@ -1,0 +1,248 @@
+"""Simulated drivers for the Donald Bren Hall sensor inventory.
+
+Each driver turns the :class:`~repro.sensors.environment.EnvironmentView`
+into typed observations, honouring its settings: a disabled or opted-out
+sensor produces nothing, a camera produces frames at its configured
+rate, a WiFi AP only logs when logging is on, and so on.  Drivers keep
+per-sensor state (last sample time) so they can be ticked at any cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sensors.base import Observation, Sensor
+from repro.sensors.environment import EnvironmentView
+from repro.sensors.ontology import (
+    BLE_BEACON,
+    CAMERA,
+    HVAC_UNIT,
+    ID_READER,
+    MOTION,
+    POWER_METER,
+    TEMPERATURE,
+    WIFI_AP,
+)
+
+
+class _IntervalSensor(Sensor):
+    """Shared logic for sensors that sample on a fixed interval."""
+
+    interval_parameter = "sample_interval_s"
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._last_sample: Optional[float] = None
+
+    def _due(self, now: float) -> bool:
+        interval = float(self.settings.get(self.interval_parameter))
+        if self._last_sample is not None and now - self._last_sample < interval:
+            return False
+        self._last_sample = now
+        return True
+
+
+class WiFiAccessPoint(Sensor):
+    """Logs the MAC of every device associated to it this tick."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, WIFI_AP, space_id, settings)
+        self._last_log: Optional[float] = None
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled or self.settings.get("logging") == "off":
+            return []
+        interval = float(self.settings.get("log_interval_s"))
+        if self._last_log is not None and now - self._last_log < interval:
+            return []
+        self._last_log = now
+        observations = []
+        for device in environment.devices_in(self.space_id):
+            # The AP only sees a MAC address; attribution to a person is
+            # the BMS's job (via the user directory).
+            observations.append(
+                self.make_observation(
+                    now,
+                    {
+                        "device_mac": device.device_mac,
+                        "ap_mac": "ap:%s" % self.sensor_id,
+                        "rssi": -45.0,
+                    },
+                )
+            )
+        return observations
+
+
+class BluetoothBeacon(Sensor):
+    """Phones with an IoTA sense the beacon and report their room."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, BLE_BEACON, space_id, settings)
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled:
+            return []
+        observations = []
+        for device in environment.devices_in(self.space_id):
+            if not device.has_iota:
+                continue
+            observations.append(
+                self.make_observation(
+                    now,
+                    {
+                        "device_id": device.device_mac,
+                        "beacon_id": self.sensor_id,
+                        "proximity": "near",
+                    },
+                    subject_id=device.person_id,
+                )
+            )
+        return observations
+
+
+class SurveillanceCamera(Sensor):
+    """Produces one frame summary per capture period when recording."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, CAMERA, space_id, settings)
+        self._frame_no = 0
+        self._last_frame: Optional[float] = None
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled or self.settings.get("recording") == "off":
+            return []
+        period = 1.0 / float(self.settings.get("capture_fps"))
+        if self._last_frame is not None and now - self._last_frame < period:
+            return []
+        self._last_frame = now
+        self._frame_no += 1
+        present = environment.devices_in(self.space_id)
+        return [
+            self.make_observation(
+                now,
+                {
+                    "frame_ref": "%s/frame-%06d" % (self.sensor_id, self._frame_no),
+                    "motion_score": min(1.0, 0.2 * len(present)),
+                    "faces_detected": len(present),
+                },
+            )
+        ]
+
+
+class PowerOutletMeter(_IntervalSensor):
+    """Samples the aggregate power draw of its space's outlets."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, POWER_METER, space_id, settings)
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled or not self._due(now):
+            return []
+        return [
+            self.make_observation(
+                now,
+                {
+                    "watts": environment.power_draw_of(self.space_id),
+                    "outlet_id": "outlet:%s" % self.sensor_id,
+                },
+            )
+        ]
+
+
+class TemperatureSensor(_IntervalSensor):
+    """Samples the room temperature."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, TEMPERATURE, space_id, settings)
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled or not self._due(now):
+            return []
+        return [
+            self.make_observation(
+                now, {"fahrenheit": environment.temperature_of(self.space_id)}
+            )
+        ]
+
+
+class MotionSensor(Sensor):
+    """Reports whether motion occurred in the space this tick."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, MOTION, space_id, settings)
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled:
+            return []
+        return [
+            self.make_observation(
+                now, {"motion": 1 if environment.motion_in(self.space_id) else 0}
+            )
+        ]
+
+
+class HVACUnit(Sensor):
+    """An actuator; it reports its own state so policies can audit it."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, HVAC_UNIT, space_id, settings)
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled:
+            return []
+        return [
+            self.make_observation(
+                now,
+                {
+                    "setpoint_f": self.settings.get("setpoint_f"),
+                    "fan_speed": self.settings.get("fan_speed"),
+                },
+            )
+        ]
+
+
+class IDCardReader(Sensor):
+    """Reports credential presentations at a guarded door."""
+
+    def __init__(self, sensor_id: str, space_id: str, settings: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(sensor_id, ID_READER, space_id, settings)
+
+    def sample(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        if not self.enabled:
+            return []
+        credential = environment.credential_presented(self.space_id)
+        if credential is None:
+            return []
+        return [
+            self.make_observation(
+                now,
+                {"credential_id": credential, "granted": True},
+                subject_id=credential.split(":", 1)[-1] or None,
+            )
+        ]
+
+
+DRIVER_CLASSES = {
+    WIFI_AP.type_name: WiFiAccessPoint,
+    BLE_BEACON.type_name: BluetoothBeacon,
+    CAMERA.type_name: SurveillanceCamera,
+    POWER_METER.type_name: PowerOutletMeter,
+    TEMPERATURE.type_name: TemperatureSensor,
+    MOTION.type_name: MotionSensor,
+    HVAC_UNIT.type_name: HVACUnit,
+    ID_READER.type_name: IDCardReader,
+}
+
+
+def create_sensor(
+    sensor_type: str,
+    sensor_id: str,
+    space_id: str,
+    settings: Optional[Dict[str, object]] = None,
+) -> Sensor:
+    """Instantiate the driver for ``sensor_type``.
+
+    Raises ``KeyError`` for unknown types, which callers surface as a
+    configuration error.
+    """
+    return DRIVER_CLASSES[sensor_type](sensor_id, space_id, settings)

@@ -1,0 +1,51 @@
+"""The view of the physical world that sensor drivers sample.
+
+Drivers do not know about the simulation package; they sample an
+:class:`EnvironmentView`, which the simulation implements.  This keeps
+the dependency direction clean (simulation -> sensors, never the
+reverse) and lets tests supply tiny hand-built environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PresentDevice:
+    """A person's device currently present in a space."""
+
+    person_id: str
+    device_mac: str
+    has_iota: bool = True
+    """Whether the device runs an IoT Assistant (and hence reports
+    beacon sightings when its owner has opted in)."""
+
+
+class EnvironmentView:
+    """Abstract world state the drivers read.
+
+    The default implementations describe an empty, 70F building so
+    that a bare environment is usable in tests.
+    """
+
+    def devices_in(self, space_id: str) -> List[PresentDevice]:
+        """Devices physically present in ``space_id`` right now."""
+        return []
+
+    def temperature_of(self, space_id: str) -> float:
+        """Air temperature of the space in Fahrenheit."""
+        return 70.0
+
+    def power_draw_of(self, space_id: str) -> float:
+        """Aggregate power draw of the space's outlets in watts."""
+        return 0.0
+
+    def motion_in(self, space_id: str) -> bool:
+        """Whether anything moved in the space during the last tick."""
+        return bool(self.devices_in(space_id))
+
+    def credential_presented(self, space_id: str) -> Optional[str]:
+        """Credential id swiped at the space's reader this tick."""
+        return None

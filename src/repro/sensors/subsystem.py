@@ -1,0 +1,85 @@
+"""Sensor subsystems: grouping sensors of the same kind.
+
+The paper: "Sensors of the same type can be organized into sensor
+subsystems.  Examples of such subsystems are camera subsystem, beacon
+subsystem, and HVAC subsystem."  A subsystem provides bulk actuation
+(e.g. disable all cameras on a floor) and per-space lookup, which the
+building's sensor manager builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import SensorError
+from repro.sensors.base import Observation, Sensor
+from repro.sensors.environment import EnvironmentView
+
+
+class SensorSubsystem:
+    """A named group of sensors, normally sharing a subsystem label."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sensors: Dict[str, Sensor] = {}
+
+    def add(self, sensor: Sensor) -> Sensor:
+        if sensor.sensor_id in self._sensors:
+            raise SensorError("duplicate sensor id %r" % sensor.sensor_id)
+        self._sensors[sensor.sensor_id] = sensor
+        return sensor
+
+    def get(self, sensor_id: str) -> Sensor:
+        try:
+            return self._sensors[sensor_id]
+        except KeyError:
+            raise SensorError(
+                "subsystem %r has no sensor %r" % (self.name, sensor_id)
+            ) from None
+
+    def remove(self, sensor_id: str) -> Sensor:
+        sensor = self.get(sensor_id)
+        del self._sensors[sensor_id]
+        return sensor
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __iter__(self) -> Iterator[Sensor]:
+        return iter(self._sensors.values())
+
+    def __contains__(self, sensor_id: str) -> bool:
+        return sensor_id in self._sensors
+
+    def sensors_in_space(self, space_id: str) -> List[Sensor]:
+        return [s for s in self._sensors.values() if s.space_id == space_id]
+
+    def select(self, predicate: Callable[[Sensor], bool]) -> List[Sensor]:
+        return [s for s in self._sensors.values() if predicate(s)]
+
+    def actuate_all(
+        self,
+        changes: Dict[str, object],
+        predicate: Optional[Callable[[Sensor], bool]] = None,
+    ) -> int:
+        """Apply a settings change to every (matching) sensor.
+
+        Returns the number of sensors actuated.  Validation failures on
+        any sensor abort the whole call (sensors already actuated keep
+        the new settings; callers wanting atomicity should validate via
+        a dry-run sensor first).
+        """
+        count = 0
+        for sensor in self._sensors.values():
+            if predicate is not None and not predicate(sensor):
+                continue
+            sensor.actuate(changes)
+            count += 1
+        return count
+
+    def sample_all(self, now: float, environment: EnvironmentView) -> List[Observation]:
+        """Tick every sensor once and gather their observations."""
+        observations: List[Observation] = []
+        for sensor in self._sensors.values():
+            observations.extend(sensor.sample(now, environment))
+        return observations

@@ -1,0 +1,23 @@
+"""Building services on top of TIPPERS.
+
+"Smart buildings such as DBH also provide services, built on top of the
+collected sensor data, to the inhabitants of the building" (Section
+III-B).  The two first-party services the paper names are implemented
+(:class:`~repro.services.concierge.SmartConcierge` and
+:class:`~repro.services.meeting.SmartMeeting`), plus the third-party
+food-delivery example.  Every data access a service makes goes through
+the request manager and is therefore policy-checked.
+"""
+
+from repro.services.base import BuildingService
+from repro.services.concierge import SmartConcierge
+from repro.services.food_delivery import FoodDeliveryService
+from repro.services.meeting import Meeting, SmartMeeting
+
+__all__ = [
+    "BuildingService",
+    "SmartConcierge",
+    "SmartMeeting",
+    "Meeting",
+    "FoodDeliveryService",
+]

@@ -1,0 +1,140 @@
+"""Inhabitants: profiles, personas, and daily schedules.
+
+The role mix and schedules encode the heuristics of Section II-A
+("non-faculty staff arrive at 7 am and leave before 5 pm, graduate
+students generally leave the building late..."), which both drives the
+mobility model and makes the role-inference attack reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.iota.personas import PERSONAS, Persona
+from repro.spatial.model import SpaceType, SpatialModel
+from repro.users.profile import UserProfile
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A daily rhythm: when the person is in the building."""
+
+    arrival_hour: float
+    departure_hour: float
+    lunch_hour: float = 12.0
+    lunch_duration_h: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.arrival_hour < self.departure_hour <= 24.0:
+            raise ReproError("schedule hours must satisfy 0 <= arrival < departure <= 24")
+
+    def in_building(self, hour: float) -> bool:
+        return self.arrival_hour <= hour < self.departure_hour
+
+    def at_lunch(self, hour: float) -> bool:
+        return self.lunch_hour <= hour < self.lunch_hour + self.lunch_duration_h
+
+
+@dataclass(frozen=True)
+class Inhabitant:
+    """A simulated person: building profile + privacy persona + rhythm."""
+
+    profile: UserProfile
+    persona: Persona
+    schedule: Schedule
+
+    @property
+    def user_id(self) -> str:
+        return self.profile.user_id
+
+
+#: Role -> (group name, schedule sampler parameters).  Arrival/departure
+#: are sampled uniformly from these windows.
+_ROLE_SCHEDULES: Dict[str, Tuple[Tuple[float, float], Tuple[float, float]]] = {
+    "staff": ((6.75, 7.5), (16.0, 17.0)),
+    "faculty": ((8.5, 10.0), (17.0, 19.0)),
+    "grad-student": ((10.0, 12.0), (19.5, 23.0)),
+    "undergrad": ((9.0, 11.0), (15.0, 18.0)),
+}
+
+_ROLE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("faculty", 0.2),
+    ("staff", 0.15),
+    ("grad-student", 0.4),
+    ("undergrad", 0.25),
+)
+
+_PERSONA_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    # Westin's segmentation: roughly 25/55/20.
+    ("unconcerned", 0.25),
+    ("pragmatist", 0.55),
+    ("fundamentalist", 0.20),
+)
+
+
+def _weighted_choice(rng: random.Random, weights: Tuple[Tuple[str, float], ...]) -> str:
+    total = sum(w for _, w in weights)
+    mark = rng.random() * total
+    cumulative = 0.0
+    for name, weight in weights:
+        cumulative += weight
+        if mark < cumulative:
+            return name
+    return weights[-1][0]
+
+
+def generate_inhabitants(
+    spatial: SpatialModel,
+    count: int,
+    seed: int = 0,
+    building_id: Optional[str] = None,
+) -> List[Inhabitant]:
+    """``count`` reproducible inhabitants with offices in the building.
+
+    Faculty, staff, and grad students get assigned offices (distinct
+    rooms, round-robin); undergrads get none.  Every inhabitant carries
+    one registered device.
+    """
+    if count < 0:
+        raise ReproError("count must be non-negative")
+    rng = random.Random(seed)
+    rooms = sorted(s.space_id for s in spatial.spaces_of_type(SpaceType.ROOM))
+    if not rooms:
+        raise ReproError("spatial model has no rooms")
+    inhabitants: List[Inhabitant] = []
+    office_cursor = 0
+    for index in range(count):
+        role = _weighted_choice(rng, _ROLE_WEIGHTS)
+        persona_name = _weighted_choice(rng, _PERSONA_WEIGHTS)
+        arrival_window, departure_window = _ROLE_SCHEDULES[role]
+        schedule = Schedule(
+            arrival_hour=rng.uniform(*arrival_window),
+            departure_hour=rng.uniform(*departure_window),
+            lunch_hour=rng.uniform(11.5, 12.5),
+        )
+        office: Optional[str] = None
+        if role != "undergrad":
+            office = rooms[office_cursor % len(rooms)]
+            office_cursor += 1
+        user_id = "user-%04d" % (index + 1)
+        profile = UserProfile(
+            user_id=user_id,
+            name="Inhabitant %d" % (index + 1),
+            groups=frozenset({role}),
+            department="ics",
+            affiliation="uci",
+            office_id=office,
+            device_macs=("02:00:00:00:%02x:%02x" % (index // 256, index % 256),),
+            has_iota=rng.random() < 0.9,
+        )
+        inhabitants.append(
+            Inhabitant(
+                profile=profile,
+                persona=PERSONAS[persona_name],
+                schedule=schedule,
+            )
+        )
+    return inhabitants

@@ -1,0 +1,175 @@
+"""The simulated world: where everyone is, and room physics.
+
+:class:`BuildingWorld` implements the
+:class:`~repro.sensors.environment.EnvironmentView` that sensor drivers
+sample.  ``step(now)`` moves each inhabitant according to their
+schedule (office work, lunch trips, occasional corridor wandering) and
+relaxes room temperatures toward their HVAC setpoints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.sensors.environment import EnvironmentView, PresentDevice
+from repro.simulation.inhabitants import Inhabitant
+from repro.spatial.model import SpaceType, SpatialModel
+
+
+class BuildingWorld(EnvironmentView):
+    """Ground-truth world state the sensors observe."""
+
+    OUTSIDE_TEMP_F = 62.0
+    BASE_LOAD_W = 40.0
+    PER_PERSON_LOAD_W = 120.0
+
+    def __init__(
+        self,
+        spatial: SpatialModel,
+        inhabitants: List[Inhabitant],
+        seed: int = 0,
+        seconds_per_day: int = 86400,
+    ) -> None:
+        self._spatial = spatial
+        self._inhabitants = {p.user_id: p for p in inhabitants}
+        self._rng = random.Random(seed)
+        self._seconds_per_day = seconds_per_day
+        self._locations: Dict[str, Optional[str]] = {
+            p.user_id: None for p in inhabitants
+        }
+        self._previous_locations: Dict[str, Optional[str]] = dict(self._locations)
+        self._temperatures: Dict[str, float] = {
+            s.space_id: self.OUTSIDE_TEMP_F + 6.0
+            for s in spatial.spaces_of_type(SpaceType.ROOM)
+        }
+        self._hvac_setpoints: Dict[str, float] = {}
+        self._lunch_room = self._pick_lunch_room()
+        self._pending_credentials: Dict[str, str] = {}
+
+    def _pick_lunch_room(self) -> str:
+        rooms = sorted(
+            s.space_id
+            for s in self._spatial.spaces_of_type(SpaceType.ROOM)
+            if s.attributes.get("coffee_machine") == "yes"
+        )
+        if rooms:
+            return rooms[0]
+        all_rooms = sorted(s.space_id for s in self._spatial.spaces_of_type(SpaceType.ROOM))
+        if not all_rooms:
+            raise ReproError("world needs at least one room")
+        return all_rooms[0]
+
+    # ------------------------------------------------------------------
+    # Time stepping
+    # ------------------------------------------------------------------
+    def hour_of(self, now: float) -> float:
+        return (now % self._seconds_per_day) / (self._seconds_per_day / 24.0)
+
+    def step(self, now: float, dt_s: float = 60.0) -> None:
+        """Advance the world to ``now``: move people, relax physics."""
+        hour = self.hour_of(now)
+        self._previous_locations = dict(self._locations)
+        for inhabitant in self._inhabitants.values():
+            self._locations[inhabitant.user_id] = self._place(inhabitant, hour)
+        self._relax_temperatures(dt_s)
+
+    def _place(self, inhabitant: Inhabitant, hour: float) -> Optional[str]:
+        schedule = inhabitant.schedule
+        if not schedule.in_building(hour):
+            return None
+        if schedule.at_lunch(hour):
+            return self._lunch_room
+        office = inhabitant.profile.office_id
+        if office is None:
+            # Undergrads drift between rooms and corridors.
+            spaces = sorted(
+                s.space_id
+                for s in self._spatial.spaces_of_type(SpaceType.ROOM)
+            )
+            return self._rng.choice(spaces)
+        # Occasionally wander to the corridor outside the office.
+        if self._rng.random() < 0.05:
+            floor = self._spatial.ancestor_at_level(office, SpaceType.FLOOR)
+            if floor is not None:
+                corridors = [
+                    s.space_id
+                    for s in self._spatial.children(floor.space_id)
+                    if s.space_type is SpaceType.CORRIDOR
+                ]
+                if corridors:
+                    return corridors[0]
+        return office
+
+    def _relax_temperatures(self, dt_s: float) -> None:
+        """First-order relaxation toward setpoint (or outside temp)."""
+        rate = min(1.0, dt_s / 1800.0)
+        for space_id, temp in self._temperatures.items():
+            target = self._hvac_setpoints.get(space_id, self.OUTSIDE_TEMP_F + 4.0)
+            self._temperatures[space_id] = temp + (target - temp) * rate
+
+    # ------------------------------------------------------------------
+    # Control inputs
+    # ------------------------------------------------------------------
+    def set_hvac_setpoint(self, space_id: str, setpoint_f: float) -> None:
+        self._hvac_setpoints[space_id] = setpoint_f
+
+    def present_credential(self, space_id: str, user_id: str) -> None:
+        """A user swipes their card at a reader this tick."""
+        self._pending_credentials[space_id] = "cred:%s" % user_id
+
+    def teleport(self, user_id: str, space_id: Optional[str]) -> None:
+        """Force a person's location (used by scenario scripts)."""
+        if user_id not in self._locations:
+            raise ReproError("unknown inhabitant %r" % user_id)
+        self._locations[user_id] = space_id
+
+    # ------------------------------------------------------------------
+    # Ground truth queries
+    # ------------------------------------------------------------------
+    def location_of(self, user_id: str) -> Optional[str]:
+        return self._locations.get(user_id)
+
+    def occupants_of(self, space_id: str) -> List[str]:
+        return sorted(
+            uid for uid, loc in self._locations.items() if loc == space_id
+        )
+
+    @property
+    def lunch_room(self) -> str:
+        return self._lunch_room
+
+    # ------------------------------------------------------------------
+    # EnvironmentView (what sensors see)
+    # ------------------------------------------------------------------
+    def devices_in(self, space_id: str) -> List[PresentDevice]:
+        devices = []
+        for user_id in self.occupants_of(space_id):
+            profile = self._inhabitants[user_id].profile
+            for mac in profile.device_macs:
+                devices.append(
+                    PresentDevice(
+                        person_id=user_id, device_mac=mac, has_iota=profile.has_iota
+                    )
+                )
+        return devices
+
+    def temperature_of(self, space_id: str) -> float:
+        return self._temperatures.get(space_id, self.OUTSIDE_TEMP_F)
+
+    def power_draw_of(self, space_id: str) -> float:
+        occupants = len(self.occupants_of(space_id))
+        return self.BASE_LOAD_W + self.PER_PERSON_LOAD_W * occupants
+
+    def motion_in(self, space_id: str) -> bool:
+        if self.occupants_of(space_id):
+            return True
+        # Motion also triggers briefly when someone just left.
+        return any(
+            previous == space_id and self._locations.get(uid) != space_id
+            for uid, previous in self._previous_locations.items()
+        )
+
+    def credential_presented(self, space_id: str) -> Optional[str]:
+        return self._pending_credentials.pop(space_id, None)

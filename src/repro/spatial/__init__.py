@@ -1,0 +1,17 @@
+"""Hierarchical spatial model of a smart building.
+
+The paper's policy language needs a spatial model that "includes
+information about infrastructure, such as buildings, floors, rooms,
+corridors, and is inherently hierarchical" and that "supports operators
+such as contained, neighboring, and overlap" (Section IV-A.1).
+
+:class:`~repro.spatial.model.SpatialModel` is the registry of
+:class:`~repro.spatial.model.Space` nodes; each space may carry a 2D
+footprint (:class:`~repro.spatial.geometry.Box`) used by the overlap and
+neighboring operators and by coarse-grained location reporting.
+"""
+
+from repro.spatial.geometry import Box, Point
+from repro.spatial.model import Space, SpaceType, SpatialModel
+
+__all__ = ["Point", "Box", "Space", "SpaceType", "SpatialModel"]

@@ -1,0 +1,124 @@
+"""Minimal 2D geometry used by the spatial model.
+
+Spaces carry axis-aligned rectangular footprints.  That is enough to
+implement the paper's ``overlap`` and ``neighboring`` operators and to
+compute sensor coverage without pulling in a full GIS stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the building's local coordinate frame (meters)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "degenerate box: (%r, %r) must not exceed (%r, %r)"
+                % (self.min_x, self.min_y, self.max_x, self.max_y)
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, point: Point) -> bool:
+        """Whether ``point`` lies inside this box (boundary inclusive)."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def overlaps(self, other: "Box") -> bool:
+        """Whether the two boxes share interior area (not just an edge)."""
+        return (
+            self.min_x < other.max_x
+            and other.min_x < self.max_x
+            and self.min_y < other.max_y
+            and other.min_y < self.max_y
+        )
+
+    def touches(self, other: "Box") -> bool:
+        """Whether the boxes share a boundary but no interior area.
+
+        Two rooms separated by a wall segment touch; this is the
+        geometric basis of the ``neighboring`` operator.
+        """
+        if self.overlaps(other):
+            return False
+        x_touch = self.min_x <= other.max_x and other.min_x <= self.max_x
+        y_touch = self.min_y <= other.max_y and other.min_y <= self.max_y
+        return x_touch and y_touch
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping region, or ``None`` when the boxes are disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Box(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def union_bounds(self, other: "Box") -> "Box":
+        """The smallest box enclosing both boxes."""
+        return Box(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expand(self, margin: float) -> "Box":
+        """A copy grown by ``margin`` meters on every side."""
+        if margin < 0 and (2 * -margin > self.width or 2 * -margin > self.height):
+            raise ValueError("negative margin would invert the box")
+        return Box(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )

@@ -1,0 +1,264 @@
+"""The TIPPERS facade: one object wiring the whole building.
+
+Construction order mirrors Figure 1: a spatial model and user directory
+come first, the enforcement engine sits in the middle, and the five
+managers (sensor, policy, preference, request, inference) share it.
+
+TIPPERS is also a bus :class:`~repro.net.bus.Endpoint`, exposing the
+JSON API the IoTA uses: fetching settings, submitting preferences and
+selections, and (for services) the query methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.enforcement.audit import AuditLog
+from repro.core.enforcement.cache import CachingEnforcementEngine
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.base import RequesterKind
+from repro.core.policy.building import BuildingPolicy
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.policy.preference import ServicePermission, UserPreference
+from repro.core.policy.serialization import preference_from_dict
+from repro.core.policy.settings import SettingsSpace
+from repro.core.reasoner.conflicts import Conflict
+from repro.core.reasoner.index import PolicyIndex, RuleStore
+from repro.core.reasoner.resolution import ResolutionStrategy
+from repro.errors import NetworkError, PolicyError, ServiceError
+from repro.net.bus import Endpoint
+from repro.sensors.base import Sensor
+from repro.sensors.environment import EnvironmentView
+from repro.sensors.ontology import SensorOntology, default_ontology
+from repro.spatial.model import SpatialModel
+from repro.tippers.datastore import Datastore
+from repro.tippers.inference import InferenceEngine
+from repro.tippers.policy_manager import PolicyManager
+from repro.tippers.preference_manager import PreferenceManager
+from repro.tippers.request_manager import QueryResponse, RequestManager
+from repro.tippers.sensor_manager import CaptureStats, SensorManager
+from repro.tippers.social import SocialInference
+from repro.users.profile import UserDirectory, UserProfile
+
+
+class TIPPERS(Endpoint):
+    """The privacy-aware building management system."""
+
+    def __init__(
+        self,
+        spatial: SpatialModel,
+        building_id: str,
+        directory: Optional[UserDirectory] = None,
+        ontology: Optional[SensorOntology] = None,
+        store: Optional[RuleStore] = None,
+        strategy: ResolutionStrategy = ResolutionStrategy.NEGOTIATE,
+        owner_name: str = "",
+        owner_more_info: str = "",
+        settings_space: Optional[SettingsSpace] = None,
+        enforce_capture: bool = True,
+        cache_decisions: bool = False,
+    ) -> None:
+        if building_id not in spatial:
+            raise PolicyError("unknown building %r" % building_id)
+        self.spatial = spatial
+        self.building_id = building_id
+        self.directory = directory if directory is not None else UserDirectory()
+        self.ontology = ontology if ontology is not None else default_ontology()
+        self.context = EvaluationContext(
+            spatial=spatial, user_profiles=self.directory.group_map()
+        )
+        self.store: RuleStore = store if store is not None else PolicyIndex()
+        engine_cls = CachingEnforcementEngine if cache_decisions else EnforcementEngine
+        self.engine = engine_cls(
+            store=self.store,
+            context=self.context,
+            strategy=strategy,
+            ontology=self.ontology,
+        )
+        self.datastore = Datastore()
+        self.sensor_manager = SensorManager(
+            self.engine,
+            self.datastore,
+            directory=self.directory,
+            enforce_capture=enforce_capture,
+        )
+        self.policy_manager = PolicyManager(
+            self.store,
+            spatial,
+            self.ontology,
+            building_id,
+            owner_name=owner_name,
+            owner_more_info=owner_more_info,
+            settings_space=settings_space,
+        )
+        self.preference_manager = PreferenceManager(
+            self.store, self.policy_manager, self.directory, self.context
+        )
+        self.inference = InferenceEngine(self.datastore, spatial)
+        self.social = SocialInference(self.datastore)
+        self.request_manager = RequestManager(
+            self.engine,
+            self.inference,
+            self.directory,
+            spatial,
+            self.policy_manager,
+            social=self.social,
+        )
+
+    # ------------------------------------------------------------------
+    # Administration (step 1)
+    # ------------------------------------------------------------------
+    def define_policy(self, policy: BuildingPolicy) -> BuildingPolicy:
+        return self.policy_manager.define(policy)
+
+    def add_user(self, profile: UserProfile) -> UserProfile:
+        result = self.directory.add(profile)
+        # Conditions consult the context's profile map; refresh it.
+        self.context.user_profiles = self.directory.group_map()
+        return result
+
+    def deploy_sensor(
+        self,
+        sensor_type: str,
+        sensor_id: str,
+        space_id: str,
+        settings: Optional[Dict[str, object]] = None,
+    ) -> Sensor:
+        if space_id not in self.spatial:
+            raise PolicyError("unknown space %r" % space_id)
+        return self.sensor_manager.deploy(sensor_type, sensor_id, space_id, settings)
+
+    # ------------------------------------------------------------------
+    # Operation (steps 2-3)
+    # ------------------------------------------------------------------
+    def tick(self, now: float, environment: EnvironmentView) -> CaptureStats:
+        """One capture cycle over every deployed sensor."""
+        return self.sensor_manager.tick(now, environment)
+
+    def run_retention(self, now: float) -> int:
+        """Purge observations past their policies' retention."""
+        return self.datastore.sweep(
+            now, self.policy_manager.retention_by_sensor_type()
+        )
+
+    def run_comfort_control(self, now: float) -> int:
+        """Execute actuation rules (Policy 1's pipeline)."""
+        return self.policy_manager.run_actuations(
+            self.sensor_manager,
+            triggers={"occupied": lambda space_id: self.inference.is_occupied(space_id, now)},
+        )
+
+    # ------------------------------------------------------------------
+    # Preferences (step 8)
+    # ------------------------------------------------------------------
+    def submit_preference(self, preference: UserPreference) -> List[Conflict]:
+        return self.preference_manager.submit(preference)
+
+    def submit_permission(self, permission: ServicePermission) -> List[Conflict]:
+        return self.preference_manager.submit_permission(permission)
+
+    def apply_selection(self, user_id: str, selection: Dict[str, str]) -> List[Conflict]:
+        return self.preference_manager.apply_selection(user_id, selection)
+
+    # ------------------------------------------------------------------
+    # Queries (steps 9-10); thin delegation to the request manager
+    # ------------------------------------------------------------------
+    def locate_user(self, requester_id: str, requester_kind: RequesterKind,
+                    subject_id: str, now: float, **kwargs: object) -> QueryResponse:
+        return self.request_manager.locate_user(
+            requester_id, requester_kind, subject_id, now, **kwargs  # type: ignore[arg-type]
+        )
+
+    def room_occupancy(self, requester_id: str, requester_kind: RequesterKind,
+                       space_id: str, now: float, **kwargs: object) -> QueryResponse:
+        return self.request_manager.room_occupancy(
+            requester_id, requester_kind, space_id, now, **kwargs  # type: ignore[arg-type]
+        )
+
+    @property
+    def audit(self) -> AuditLog:
+        return self.engine.audit
+
+    # ------------------------------------------------------------------
+    # Bus endpoint: the JSON API
+    # ------------------------------------------------------------------
+    def handle(self, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            return self._dispatch(method, payload)
+        except (PolicyError, ServiceError, KeyError, ValueError) as exc:
+            raise NetworkError(str(exc)) from None
+
+    def _dispatch(self, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if method == "get_policy_document":
+            return self.policy_manager.compile_policy_document().to_dict()
+        if method == "get_settings_document":
+            return self.policy_manager.settings_space.to_document().to_dict()
+        if method == "submit_preference":
+            preference = preference_from_dict(payload["preference"])
+            conflicts = self.submit_preference(preference)
+            return {"conflicts": [c.describe() for c in conflicts]}
+        if method == "submit_selection":
+            conflicts = self.apply_selection(payload["user_id"], payload["selection"])
+            return {"conflicts": [c.describe() for c in conflicts]}
+        if method == "preview_effects":
+            from repro.tippers.preview import preview_effects
+
+            user_id = payload["user_id"]
+            if user_id not in self.directory:
+                raise NetworkError("unknown user %r" % user_id)
+            preview = preview_effects(
+                self.engine,
+                user_id,
+                payload.get("space_id", self.building_id),
+                payload["now"],
+            )
+            return {
+                "user_id": preview.user_id,
+                "entries": [
+                    {
+                        "category": e.category.value,
+                        "phase": e.phase.value,
+                        "effect": e.effect.value,
+                        "granularity": e.granularity.value,
+                        "overridden": e.overridden,
+                    }
+                    for e in preview.entries
+                ],
+            }
+        if method == "locate_user":
+            response = self.locate_user(
+                payload["requester_id"],
+                RequesterKind(payload.get("requester_kind", "building_service")),
+                payload["subject_id"],
+                payload["now"],
+                purpose=Purpose(payload.get("purpose", "providing_service")),
+                granularity=GranularityLevel(payload.get("granularity", "precise")),
+            )
+            value = response.value
+            located: Optional[Dict[str, Any]] = None
+            if response.allowed and value is not None:
+                located = {
+                    "space_id": value.space_id,
+                    "timestamp": value.timestamp,
+                    "granularity": value.granularity,
+                }
+            return {
+                "allowed": response.allowed,
+                "location": located,
+                "reasons": list(response.reasons),
+            }
+        if method == "room_occupancy":
+            response = self.room_occupancy(
+                payload["requester_id"],
+                RequesterKind(payload.get("requester_kind", "building_service")),
+                payload["space_id"],
+                payload["now"],
+                purpose=Purpose(payload.get("purpose", "providing_service")),
+            )
+            return {
+                "allowed": response.allowed,
+                "occupied": response.value if response.allowed else None,
+                "reasons": list(response.reasons),
+            }
+        raise NetworkError("method %r not handled" % method)

@@ -1,0 +1,148 @@
+"""Durable storage: JSON-lines snapshots of observations and audit.
+
+The in-memory datastore is the working set; a real deployment also
+needs restart-safe persistence.  Observations and audit records are
+written one-JSON-object-per-line, so snapshots are streamable,
+greppable, and append-friendly.
+
+Round-trip fidelity is exact: ``load_datastore(save_datastore(ds))``
+reproduces every observation (ids, payloads, attribution, granularity
+labels) and the audit loader reproduces every decision record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Optional
+
+from repro.core.enforcement.audit import AuditLog, AuditRecord
+from repro.core.language.vocabulary import GranularityLevel
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.errors import StorageError
+from repro.sensors.base import Observation
+from repro.tippers.datastore import Datastore
+
+
+# ----------------------------------------------------------------------
+# Observations
+# ----------------------------------------------------------------------
+def observation_to_json(observation: Observation) -> str:
+    return json.dumps(observation.to_dict(), separators=(",", ":"), allow_nan=False)
+
+
+def observation_from_json(line: str) -> Observation:
+    try:
+        data = json.loads(line)
+        return Observation(
+            observation_id=data["observation_id"],
+            sensor_id=data["sensor_id"],
+            sensor_type=data["sensor_type"],
+            timestamp=data["timestamp"],
+            space_id=data.get("space_id"),
+            payload=dict(data.get("payload", {})),
+            subject_id=data.get("subject_id"),
+            granularity=data.get("granularity", "precise"),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise StorageError("malformed observation line: %s" % exc) from None
+
+
+def save_datastore(datastore: Datastore, path: str) -> int:
+    """Snapshot every stored observation to ``path``; returns count.
+
+    The snapshot is written to a temp file and atomically renamed, so a
+    crash mid-save never corrupts an existing snapshot.
+    """
+    temp_path = path + ".tmp"
+    count = 0
+    with open(temp_path, "w") as handle:
+        for sensor_type in datastore.stream_names():
+            for observation in datastore.query(sensor_type=sensor_type):
+                handle.write(observation_to_json(observation))
+                handle.write("\n")
+                count += 1
+    os.replace(temp_path, path)
+    return count
+
+
+def load_datastore(path: str, into: Optional[Datastore] = None) -> Datastore:
+    """Rebuild a datastore from a snapshot file."""
+    datastore = into if into is not None else Datastore()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                datastore.insert(observation_from_json(line))
+            except StorageError as exc:
+                raise StorageError("%s (line %d of %s)" % (exc, line_no, path)) from None
+    return datastore
+
+
+# ----------------------------------------------------------------------
+# Audit log
+# ----------------------------------------------------------------------
+def audit_record_to_json(record: AuditRecord) -> str:
+    return json.dumps(
+        {
+            "timestamp": record.timestamp,
+            "requester_id": record.requester_id,
+            "phase": record.phase.value,
+            "category": record.category,
+            "subject_id": record.subject_id,
+            "space_id": record.space_id,
+            "effect": record.effect.value,
+            "granularity": record.granularity.value,
+            "reasons": list(record.reasons),
+            "notify_user": record.notify_user,
+        },
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def audit_record_from_json(line: str) -> AuditRecord:
+    try:
+        data = json.loads(line)
+        return AuditRecord(
+            timestamp=data["timestamp"],
+            requester_id=data["requester_id"],
+            phase=DecisionPhase(data["phase"]),
+            category=data["category"],
+            subject_id=data.get("subject_id"),
+            space_id=data.get("space_id"),
+            effect=Effect(data["effect"]),
+            granularity=GranularityLevel(data["granularity"]),
+            reasons=tuple(data.get("reasons", ())),
+            notify_user=data.get("notify_user", False),
+        )
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+        raise StorageError("malformed audit line: %s" % exc) from None
+
+
+def save_audit(audit: AuditLog, path: str) -> int:
+    temp_path = path + ".tmp"
+    count = 0
+    with open(temp_path, "w") as handle:
+        for record in audit:
+            handle.write(audit_record_to_json(record))
+            handle.write("\n")
+            count += 1
+    os.replace(temp_path, path)
+    return count
+
+
+def load_audit(path: str, into: Optional[AuditLog] = None) -> AuditLog:
+    audit = into if into is not None else AuditLog()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                audit.append(audit_record_from_json(line))
+            except StorageError as exc:
+                raise StorageError("%s (line %d of %s)" % (exc, line_no, path)) from None
+    return audit

@@ -1,0 +1,412 @@
+"""The request manager: the sharing path of TIPPERS.
+
+Steps (9) and (10) of Figure 1: "If a service later requests TIPPERS
+about Mary's location, the request will be processed according to the
+settings communicated by Mary's IoTA to TIPPERS (e.g., the request
+might be rejected, if Mary's IoTA requested to opt-out of location
+sharing)."
+
+Every query is turned into one or more
+:class:`~repro.core.policy.base.DataRequest` objects, resolved by the
+enforcement engine, and only then answered from the inference engine --
+with results degraded to the granted granularity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.enforcement.mechanisms import coarsen_space
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.base import DataRequest, DecisionPhase, RequesterKind
+from repro.errors import ServiceError
+from repro.spatial.model import SpatialModel
+from repro.tippers.inference import InferenceEngine, LocationEstimate
+from repro.tippers.policy_manager import PolicyManager
+from repro.tippers.social import SocialInference
+from repro.users.profile import UserDirectory
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The outcome of one service query."""
+
+    allowed: bool
+    value: object = None
+    granularity: GranularityLevel = GranularityLevel.NONE
+    reasons: Tuple[str, ...] = ()
+
+    @staticmethod
+    def denied(reasons: Tuple[str, ...]) -> "QueryResponse":
+        return QueryResponse(allowed=False, reasons=reasons)
+
+
+class RequestManager:
+    """Service-facing query API, fully policy-checked."""
+
+    def __init__(
+        self,
+        engine: EnforcementEngine,
+        inference: InferenceEngine,
+        directory: UserDirectory,
+        spatial: SpatialModel,
+        policy_manager: PolicyManager,
+        social: Optional[SocialInference] = None,
+    ) -> None:
+        self._engine = engine
+        self._inference = inference
+        self._directory = directory
+        self._spatial = spatial
+        self._policy_manager = policy_manager
+        self._social = social
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        category: DataCategory,
+        subject_id: Optional[str],
+        space_id: Optional[str],
+        now: float,
+        purpose: Purpose,
+        granularity: GranularityLevel = GranularityLevel.PRECISE,
+        sensor_type: Optional[str] = None,
+    ) -> DataRequest:
+        return DataRequest(
+            requester_id=requester_id,
+            requester_kind=requester_kind,
+            phase=DecisionPhase.SHARING,
+            category=category,
+            subject_id=subject_id,
+            space_id=space_id,
+            timestamp=now,
+            purpose=purpose,
+            granularity=granularity,
+            sensor_type=sensor_type,
+        )
+
+    # ------------------------------------------------------------------
+    # Location queries (the paper's step 9/10 example)
+    # ------------------------------------------------------------------
+    def locate_user(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        subject_id: str,
+        now: float,
+        purpose: Purpose = Purpose.PROVIDING_SERVICE,
+        granularity: GranularityLevel = GranularityLevel.PRECISE,
+    ) -> QueryResponse:
+        """Where is ``subject_id`` right now?
+
+        The decision happens *before* data access; a denied request
+        never touches the datastore.  When allowed at a coarser
+        granularity, the location is coarsened before release.
+        """
+        if subject_id not in self._directory:
+            raise ServiceError("unknown user %r" % subject_id)
+        estimate = self._inference.locate(subject_id, now)
+        request = self._request(
+            requester_id,
+            requester_kind,
+            DataCategory.LOCATION,
+            subject_id,
+            estimate.space_id if estimate is not None else None,
+            now,
+            purpose,
+            granularity,
+        )
+        decision = self._engine.decide(request)
+        if not decision.allowed:
+            return QueryResponse.denied(decision.resolution.reasons)
+        if estimate is None:
+            return QueryResponse(
+                allowed=True,
+                value=None,
+                granularity=decision.granularity,
+                reasons=decision.resolution.reasons,
+            )
+        released_space = coarsen_space(
+            estimate.space_id, decision.granularity, self._spatial
+        )
+        value = LocationEstimate(
+            subject_id=subject_id,
+            space_id=released_space if released_space is not None else "unknown",
+            timestamp=estimate.timestamp,
+            source_sensor_type=estimate.source_sensor_type,
+            granularity=decision.granularity.value,
+        )
+        return QueryResponse(
+            allowed=True,
+            value=value,
+            granularity=decision.granularity,
+            reasons=decision.resolution.reasons,
+        )
+
+    # ------------------------------------------------------------------
+    # Occupancy queries (Preference 1's target)
+    # ------------------------------------------------------------------
+    def office_owner(self, space_id: str) -> Optional[str]:
+        """The user whose assigned office is ``space_id``, if any."""
+        for user in self._directory:
+            if user.office_id == space_id:
+                return user.user_id
+        return None
+
+    def room_occupancy(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        space_id: str,
+        now: float,
+        purpose: Purpose = Purpose.PROVIDING_SERVICE,
+    ) -> QueryResponse:
+        """Is ``space_id`` occupied?
+
+        When the room is someone's assigned office, the occupancy status
+        is *their* personal data: the decision is made with them as the
+        subject, which is exactly what makes Preference 1 enforceable.
+        """
+        if space_id not in self._spatial:
+            raise ServiceError("unknown space %r" % space_id)
+        subject_id = self.office_owner(space_id)
+        request = self._request(
+            requester_id,
+            requester_kind,
+            DataCategory.OCCUPANCY,
+            subject_id,
+            space_id,
+            now,
+            purpose,
+        )
+        decision = self._engine.decide(request)
+        if not decision.allowed:
+            return QueryResponse.denied(decision.resolution.reasons)
+        occupied = self._inference.is_occupied(space_id, now)
+        return QueryResponse(
+            allowed=True,
+            value=occupied,
+            granularity=decision.granularity,
+            reasons=decision.resolution.reasons,
+        )
+
+    def people_in_space(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        space_id: str,
+        now: float,
+        purpose: Purpose = Purpose.PROVIDING_SERVICE,
+    ) -> QueryResponse:
+        """Who is in ``space_id``?  Filtered per subject.
+
+        Each person present is released only if a per-subject presence
+        request is allowed; others are silently omitted (a denial for
+        one person must not leak their presence).
+        """
+        if space_id not in self._spatial:
+            raise ServiceError("unknown space %r" % space_id)
+        present = self._inference.people_in(space_id, now)
+        released: List[str] = []
+        reasons: Tuple[str, ...] = ()
+        for subject_id in present:
+            request = self._request(
+                requester_id,
+                requester_kind,
+                DataCategory.PRESENCE,
+                subject_id,
+                space_id,
+                now,
+                purpose,
+            )
+            decision = self._engine.decide(request)
+            if decision.allowed and decision.granularity in (
+                GranularityLevel.PRECISE,
+                GranularityLevel.COARSE,
+            ):
+                released.append(subject_id)
+                reasons = decision.resolution.reasons
+        return QueryResponse(
+            allowed=True,
+            value=released,
+            granularity=GranularityLevel.PRECISE,
+            reasons=reasons or ("no identifiable occupants released",),
+        )
+
+    def occupancy_heatmap(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        now: float,
+        purpose: Purpose = Purpose.ENERGY_MANAGEMENT,
+        k: int = 3,
+        window_s: float = 900.0,
+        epsilon: Optional[float] = None,
+        rng: Optional["random.Random"] = None,
+    ) -> QueryResponse:
+        """Aggregate per-space counts with small groups suppressed.
+
+        Requested at AGGREGATE granularity: an anonymous aggregate needs
+        no per-subject consent, only a building policy authorizing
+        occupancy data for the purpose.  Passing ``epsilon`` adds
+        Laplace noise to the released counts (the "add noise"
+        enforcement action of Section V-C); pass a seeded ``rng`` for
+        reproducibility.
+        """
+        request = self._request(
+            requester_id,
+            requester_kind,
+            DataCategory.OCCUPANCY,
+            None,
+            None,
+            now,
+            purpose,
+            granularity=GranularityLevel.AGGREGATE,
+        )
+        decision = self._engine.decide(request)
+        if not decision.allowed:
+            return QueryResponse.denied(decision.resolution.reasons)
+        counts = self._inference.occupancy_map(now, window_s)
+        suppressed: Dict[str, object] = {
+            space: count for space, count in counts.items() if count >= k
+        }
+        reasons = decision.resolution.reasons
+        if epsilon is not None:
+            from repro.core.enforcement.mechanisms import noisy_counts
+
+            suppressed = dict(
+                noisy_counts({s: int(c) for s, c in suppressed.items()}, epsilon, rng)
+            )
+            reasons = reasons + ("laplace noise applied (epsilon=%g)" % epsilon,)
+        return QueryResponse(
+            allowed=True,
+            value=suppressed,
+            granularity=GranularityLevel.AGGREGATE,
+            reasons=reasons,
+        )
+
+    # ------------------------------------------------------------------
+    # Social ties (the "with whom they spend time" inference)
+    # ------------------------------------------------------------------
+    def frequent_contacts(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        subject_id: str,
+        now: float,
+        purpose: Purpose = Purpose.PROVIDING_SERVICE,
+    ) -> QueryResponse:
+        """Who does ``subject_id`` spend time with?
+
+        A tie is *joint* personal data: it is released only when BOTH
+        members' social-ties sharing requests are allowed, so one
+        party's opt-out protects the pair.
+        """
+        if self._social is None:
+            raise ServiceError("social inference is not enabled")
+        if subject_id not in self._directory:
+            raise ServiceError("unknown user %r" % subject_id)
+        own_request = self._request(
+            requester_id,
+            requester_kind,
+            DataCategory.SOCIAL_TIES,
+            subject_id,
+            None,
+            now,
+            purpose,
+        )
+        own_decision = self._engine.decide(own_request)
+        if not own_decision.allowed:
+            return QueryResponse.denied(own_decision.resolution.reasons)
+        released = []
+        for tie in self._social.ties_of(subject_id):
+            other = tie.user_b if tie.user_a == subject_id else tie.user_a
+            other_request = self._request(
+                requester_id,
+                requester_kind,
+                DataCategory.SOCIAL_TIES,
+                other,
+                None,
+                now,
+                purpose,
+            )
+            if self._engine.decide(other_request).allowed:
+                released.append({"contact": other, "encounters": tie.encounters})
+        return QueryResponse(
+            allowed=True,
+            value=released,
+            granularity=own_decision.granularity,
+            reasons=own_decision.resolution.reasons,
+        )
+
+    # ------------------------------------------------------------------
+    # Event details (Policy 4)
+    # ------------------------------------------------------------------
+    def event_details(
+        self,
+        requester_id: str,
+        requester_kind: RequesterKind,
+        event_id: str,
+        for_user: str,
+        now: float,
+        details: Optional[Dict[str, object]] = None,
+    ) -> QueryResponse:
+        """Event details for ``for_user``: registered AND nearby only.
+
+        Policy 4: "details regarding an event are disclosed to
+        registered participants only when they are nearby".  Nearby
+        means the user's current location overlaps or neighbors the
+        event space.
+        """
+        roster = self._policy_manager.event_roster(event_id)
+        if for_user not in roster:
+            return QueryResponse.denied(("user not registered for event",))
+        event_space = self._policy_manager.event_space(event_id)
+        estimate = self._inference.locate(for_user, now)
+        if estimate is None:
+            return QueryResponse.denied(("user location unknown; not nearby",))
+        nearby = (
+            estimate.space_id == event_space
+            or self._spatial.overlap(event_space, estimate.space_id)
+            or self._spatial.neighboring(event_space, estimate.space_id)
+            or self._same_floor(event_space, estimate.space_id)
+        )
+        if not nearby:
+            return QueryResponse.denied(("user not nearby the event space",))
+        request = self._request(
+            requester_id,
+            requester_kind,
+            DataCategory.MEETING_DETAILS,
+            for_user,
+            event_space,
+            now,
+            Purpose.PROVIDING_SERVICE,
+        )
+        decision = self._engine.decide(request)
+        if not decision.allowed:
+            return QueryResponse.denied(decision.resolution.reasons)
+        return QueryResponse(
+            allowed=True,
+            value=details or {"event_id": event_id, "space_id": event_space},
+            granularity=decision.granularity,
+            reasons=decision.resolution.reasons,
+        )
+
+    def _same_floor(self, a_id: str, b_id: str) -> bool:
+        if a_id not in self._spatial or b_id not in self._spatial:
+            return False
+        from repro.spatial.model import SpaceType
+
+        floor_a = self._spatial.ancestor_at_level(a_id, SpaceType.FLOOR)
+        floor_b = self._spatial.ancestor_at_level(b_id, SpaceType.FLOOR)
+        return (
+            floor_a is not None
+            and floor_b is not None
+            and floor_a.space_id == floor_b.space_id
+        )

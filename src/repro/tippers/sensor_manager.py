@@ -1,0 +1,187 @@
+"""The sensor manager: capture path of TIPPERS.
+
+Owns the building's sensor subsystems, ticks them against the simulated
+environment, attributes observations to people (resolving device MACs
+through the user directory), runs capture-phase enforcement, and hands
+surviving observations to the datastore (storage-phase enforcement
+included).  This is steps (2) and (3) of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.policy.base import DecisionPhase
+from repro.errors import SensorError
+from repro.sensors.base import Observation, Sensor
+from repro.sensors.drivers import create_sensor
+from repro.sensors.environment import EnvironmentView
+from repro.sensors.subsystem import SensorSubsystem
+from repro.tippers.datastore import Datastore
+from repro.users.profile import UserDirectory
+
+
+@dataclass
+class CaptureStats:
+    """Counters of one or many capture ticks."""
+
+    sampled: int = 0
+    dropped_capture: int = 0
+    dropped_storage: int = 0
+    stored: int = 0
+    degraded: int = 0
+
+    def merge(self, other: "CaptureStats") -> None:
+        self.sampled += other.sampled
+        self.dropped_capture += other.dropped_capture
+        self.dropped_storage += other.dropped_storage
+        self.stored += other.stored
+        self.degraded += other.degraded
+
+
+class SensorManager:
+    """Registers sensors, ticks them, and enforces the capture path."""
+
+    def __init__(
+        self,
+        engine: EnforcementEngine,
+        datastore: Datastore,
+        directory: Optional[UserDirectory] = None,
+        enforce_capture: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._datastore = datastore
+        self._directory = directory
+        self._subsystems: Dict[str, SensorSubsystem] = {}
+        self.enforce_capture = enforce_capture
+        self.stats = CaptureStats()
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        sensor_type: str,
+        sensor_id: str,
+        space_id: str,
+        settings: Optional[Dict[str, object]] = None,
+    ) -> Sensor:
+        """Create and register a sensor of ``sensor_type``."""
+        try:
+            sensor = create_sensor(sensor_type, sensor_id, space_id, settings)
+        except KeyError:
+            raise SensorError("unknown sensor type %r" % sensor_type) from None
+        return self.register(sensor)
+
+    def register(self, sensor: Sensor) -> Sensor:
+        subsystem = self._subsystems.setdefault(
+            sensor.subsystem, SensorSubsystem(sensor.subsystem)
+        )
+        subsystem.add(sensor)
+        return sensor
+
+    def subsystem(self, name: str) -> SensorSubsystem:
+        try:
+            return self._subsystems[name]
+        except KeyError:
+            raise SensorError("no subsystem %r" % name) from None
+
+    def subsystems(self) -> List[SensorSubsystem]:
+        return list(self._subsystems.values())
+
+    def sensors(self) -> List[Sensor]:
+        return [s for subsystem in self._subsystems.values() for s in subsystem]
+
+    def sensor(self, sensor_id: str) -> Sensor:
+        for subsystem in self._subsystems.values():
+            if sensor_id in subsystem:
+                return subsystem.get(sensor_id)
+        raise SensorError("unknown sensor %r" % sensor_id)
+
+    def sensors_in_space(self, space_id: str, sensor_type: Optional[str] = None) -> List[Sensor]:
+        result = []
+        for subsystem in self._subsystems.values():
+            for sensor in subsystem.sensors_in_space(space_id):
+                if sensor_type is None or sensor.sensor_type == sensor_type:
+                    result.append(sensor)
+        return result
+
+    def count(self) -> int:
+        return sum(len(s) for s in self._subsystems.values())
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    def attribute(self, observation: Observation) -> Observation:
+        """Resolve the observation's subject through the directory.
+
+        WiFi logs carry only a device MAC; the directory links it to a
+        person.  Already-attributed observations pass through.
+        """
+        if observation.subject_id is not None or self._directory is None:
+            return observation
+        mac = observation.payload.get("device_mac")
+        if not isinstance(mac, str):
+            return observation
+        owner = self._directory.owner_of_device(mac)
+        if owner is None:
+            return observation
+        return Observation(
+            observation_id=observation.observation_id,
+            sensor_id=observation.sensor_id,
+            sensor_type=observation.sensor_type,
+            timestamp=observation.timestamp,
+            space_id=observation.space_id,
+            payload=dict(observation.payload),
+            subject_id=owner,
+            granularity=observation.granularity,
+        )
+
+    def tick(self, now: float, environment: EnvironmentView) -> CaptureStats:
+        """Sample every sensor once and run the capture path."""
+        tick_stats = CaptureStats()
+        for subsystem in self._subsystems.values():
+            for raw in subsystem.sample_all(now, environment):
+                tick_stats.sampled += 1
+                observation = self.attribute(raw)
+                stored = self._ingest(observation, tick_stats)
+                if stored is not None:
+                    tick_stats.stored += 1
+        self.stats.merge(tick_stats)
+        return tick_stats
+
+    def ingest(self, observation: Observation) -> Optional[Observation]:
+        """Run one externally produced observation through the path."""
+        tick_stats = CaptureStats()
+        tick_stats.sampled += 1
+        stored = self._ingest(self.attribute(observation), tick_stats)
+        if stored is not None:
+            tick_stats.stored += 1
+        self.stats.merge(tick_stats)
+        return stored
+
+    def _ingest(
+        self, observation: Observation, tick_stats: CaptureStats
+    ) -> Optional[Observation]:
+        current = observation
+        if self.enforce_capture:
+            captured = self._engine.enforce_observation(
+                current, DecisionPhase.CAPTURE
+            )
+            if captured is None:
+                tick_stats.dropped_capture += 1
+                return None
+            current = captured
+            stored = self._engine.enforce_observation(
+                current, DecisionPhase.STORAGE
+            )
+            if stored is None:
+                tick_stats.dropped_storage += 1
+                return None
+            if stored.granularity != observation.granularity:
+                tick_stats.degraded += 1
+            current = stored
+        self._datastore.insert(current)
+        return current

@@ -1,0 +1,178 @@
+"""Social-ties inference from co-location.
+
+Section II-A's privacy threat list includes learning "with whom they
+spend time".  This module makes that inference concrete -- and hence
+testable and governable by policy: it builds a co-location graph from
+the observation store (two people who are repeatedly sighted in the
+same room within a short window are linked) and derives the
+higher-level facts a curious analyst would extract: frequent contacts,
+communities, and the most socially central individuals.
+
+Like :mod:`repro.tippers.inference`, this is the *processing* stage:
+services may only see its outputs through the policy-checked request
+path, and de-identified (AGGREGATE) capture starves it of input.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import StorageError
+from repro.tippers.datastore import Datastore
+from repro.tippers.inference import LOCATION_SENSOR_TYPES
+
+
+@dataclass(frozen=True)
+class Tie:
+    """A co-location tie between two people."""
+
+    user_a: str
+    user_b: str
+    encounters: int
+    spaces: Tuple[str, ...]
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.user_a, self.user_b)
+
+
+class SocialInference:
+    """Derives a co-location graph from stored observations."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        window_s: float = 300.0,
+        min_encounters: int = 2,
+    ) -> None:
+        if window_s <= 0:
+            raise StorageError("window_s must be positive")
+        if min_encounters < 1:
+            raise StorageError("min_encounters must be >= 1")
+        self._datastore = datastore
+        self.window_s = window_s
+        self.min_encounters = min_encounters
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _sightings(
+        self, since: Optional[float], until: Optional[float]
+    ) -> Dict[Tuple[str, int], Set[str]]:
+        """(space, time-bucket) -> subjects sighted there."""
+        buckets: Dict[Tuple[str, int], Set[str]] = defaultdict(set)
+        for sensor_type in LOCATION_SENSOR_TYPES:
+            for observation in self._datastore.query(
+                sensor_type=sensor_type, since=since, until=until
+            ):
+                if observation.subject_id is None or observation.space_id is None:
+                    continue
+                bucket = int(observation.timestamp // self.window_s)
+                buckets[(observation.space_id, bucket)].add(observation.subject_id)
+        return buckets
+
+    def build_graph(
+        self,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        ignore_spaces: Optional[Set[str]] = None,
+    ) -> "nx.Graph":
+        """The weighted co-location graph.
+
+        Edge weight = number of distinct (space, window) encounters.
+        ``ignore_spaces`` removes high-traffic common areas (a lunch
+        room links everyone and would swamp real ties).
+        """
+        graph = nx.Graph()
+        edge_meta: Dict[Tuple[str, str], Dict[str, object]] = defaultdict(
+            lambda: {"weight": 0, "spaces": set()}
+        )
+        for (space_id, _bucket), subjects in self._sightings(since, until).items():
+            if ignore_spaces and space_id in ignore_spaces:
+                continue
+            ordered = sorted(subjects)
+            for i, user_a in enumerate(ordered):
+                graph.add_node(user_a)
+                for user_b in ordered[i + 1:]:
+                    meta = edge_meta[(user_a, user_b)]
+                    meta["weight"] = int(meta["weight"]) + 1
+                    meta["spaces"].add(space_id)  # type: ignore[union-attr]
+        for (user_a, user_b), meta in edge_meta.items():
+            graph.add_edge(
+                user_a,
+                user_b,
+                weight=meta["weight"],
+                spaces=tuple(sorted(meta["spaces"])),  # type: ignore[arg-type]
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Derived facts
+    # ------------------------------------------------------------------
+    def ties_of(
+        self,
+        user_id: str,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        ignore_spaces: Optional[Set[str]] = None,
+    ) -> List[Tie]:
+        """The user's ties with at least ``min_encounters`` encounters,
+        strongest first."""
+        graph = self.build_graph(since, until, ignore_spaces)
+        if user_id not in graph:
+            return []
+        ties = []
+        for neighbor in graph.neighbors(user_id):
+            data = graph.edges[user_id, neighbor]
+            if data["weight"] < self.min_encounters:
+                continue
+            a, b = sorted((user_id, neighbor))
+            ties.append(
+                Tie(
+                    user_a=a,
+                    user_b=b,
+                    encounters=data["weight"],
+                    spaces=data["spaces"],
+                )
+            )
+        ties.sort(key=lambda t: (-t.encounters, t.pair))
+        return ties
+
+    def communities(
+        self,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        ignore_spaces: Optional[Set[str]] = None,
+    ) -> List[Set[str]]:
+        """Connected components of the strong-tie graph, largest first."""
+        graph = self.build_graph(since, until, ignore_spaces)
+        strong = nx.Graph(
+            (u, v, d)
+            for u, v, d in graph.edges(data=True)
+            if d["weight"] >= self.min_encounters
+        )
+        components = [set(c) for c in nx.connected_components(strong)]
+        components.sort(key=lambda c: (-len(c), sorted(c)))
+        return components
+
+    def most_central(
+        self,
+        top: int = 5,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        ignore_spaces: Optional[Set[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """The ``top`` users by weighted degree centrality."""
+        graph = self.build_graph(since, until, ignore_spaces)
+        if not graph:
+            return []
+        scores = {
+            node: sum(d["weight"] for _, _, d in graph.edges(node, data=True))
+            for node in graph.nodes
+        }
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [(node, float(score)) for node, score in ranked[:top]]

@@ -1,0 +1,5 @@
+"""User profiles and the building's user directory (Section IV-A.2)."""
+
+from repro.users.profile import UserDirectory, UserProfile
+
+__all__ = ["UserProfile", "UserDirectory"]

@@ -1,0 +1,89 @@
+"""User profiles.
+
+"User Profile: models the concept of people in the environment.
+Profiles can be based on groups (students, faculty, staff etc.) and
+share common properties (e.g., access permissions).  A user can have
+multiple profiles which includes information such as department,
+affiliation, and office assignment." (Section IV-A.2.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One person known to the building."""
+
+    user_id: str
+    name: str
+    groups: FrozenSet[str] = frozenset()
+    department: str = ""
+    affiliation: str = ""
+    office_id: Optional[str] = None
+    device_macs: Tuple[str, ...] = ()
+    has_iota: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise PolicyError("user_id must be non-empty")
+
+    def in_group(self, group: str) -> bool:
+        return group in self.groups
+
+
+class UserDirectory:
+    """Registry of user profiles with device-to-owner resolution.
+
+    The WiFi subsystem logs device MAC addresses; the directory is what
+    lets the building attribute those observations to people (the
+    re-identification step that makes "just a MAC address" personal
+    data, as Section II-A explains).
+    """
+
+    def __init__(self) -> None:
+        self._users: Dict[str, UserProfile] = {}
+        self._mac_owner: Dict[str, str] = {}
+
+    def add(self, profile: UserProfile) -> UserProfile:
+        if profile.user_id in self._users:
+            raise PolicyError("duplicate user %r" % profile.user_id)
+        for mac in profile.device_macs:
+            if mac in self._mac_owner:
+                raise PolicyError(
+                    "device %r already registered to %r" % (mac, self._mac_owner[mac])
+                )
+        self._users[profile.user_id] = profile
+        for mac in profile.device_macs:
+            self._mac_owner[mac] = profile.user_id
+        return profile
+
+    def get(self, user_id: str) -> UserProfile:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise PolicyError("unknown user %r" % user_id) from None
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._users
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[UserProfile]:
+        return iter(self._users.values())
+
+    def owner_of_device(self, mac: str) -> Optional[str]:
+        """The user owning device ``mac``, or ``None`` when unknown."""
+        return self._mac_owner.get(mac)
+
+    def members_of(self, group: str) -> List[UserProfile]:
+        return [u for u in self._users.values() if u.in_group(group)]
+
+    def group_map(self) -> Dict[str, FrozenSet[str]]:
+        """user_id -> groups, the shape EvaluationContext consumes."""
+        return {uid: user.groups for uid, user in self._users.items()}

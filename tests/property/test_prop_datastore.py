@@ -1,0 +1,101 @@
+"""Property tests: datastore consistency and snapshot round-trips."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sensors.base import Observation
+from repro.tippers.datastore import Datastore
+from repro.tippers.persistence import observation_from_json, observation_to_json
+
+observations = st.builds(
+    Observation.create,
+    sensor_id=st.sampled_from(["s1", "s2"]),
+    sensor_type=st.sampled_from(["wifi_access_point", "motion_sensor", "camera"]),
+    timestamp=st.floats(0, 1e6, allow_nan=False),
+    space_id=st.one_of(st.none(), st.sampled_from(["r1", "r2", "r3"])),
+    payload=st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.one_of(st.integers(-5, 5), st.text(max_size=5), st.booleans(), st.none()),
+        max_size=3,
+    ),
+    subject_id=st.one_of(st.none(), st.sampled_from(["mary", "bob"])),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch=st.lists(observations, max_size=30))
+def test_query_is_sorted_and_complete(batch):
+    store = Datastore()
+    store.insert_many(batch)
+    everything = store.query()
+    assert len(everything) == len(batch)
+    times = [o.timestamp for o in everything]
+    assert times == sorted(times)
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch=st.lists(observations, max_size=30))
+def test_stream_partition_is_exact(batch):
+    """Per-type queries partition the full result set."""
+    store = Datastore()
+    store.insert_many(batch)
+    by_stream = [
+        o.observation_id
+        for name in store.stream_names()
+        for o in store.query(sensor_type=name)
+    ]
+    assert sorted(by_stream) == sorted(o.observation_id for o in batch)
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch=st.lists(observations, max_size=30))
+def test_subject_index_matches_scan(batch):
+    store = Datastore()
+    store.insert_many(batch)
+    for subject in ("mary", "bob"):
+        indexed = {o.observation_id for o in store.query(subject_id=subject)}
+        scanned = {
+            o.observation_id for o in store.query() if o.subject_id == subject
+        }
+        assert indexed == scanned
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch=st.lists(observations, max_size=20), retention=st.floats(0, 1e6, allow_nan=False), now=st.floats(0, 2e6, allow_nan=False))
+def test_sweep_removes_exactly_the_expired(batch, retention, now):
+    store = Datastore()
+    store.insert_many(batch)
+    schedule = {"wifi_access_point": retention}
+    store.sweep(now, schedule)
+    cutoff = now - retention
+    for observation in store.query():
+        if observation.sensor_type == "wifi_access_point":
+            assert observation.timestamp >= cutoff
+    expected_kept = [
+        o
+        for o in batch
+        if o.sensor_type != "wifi_access_point" or o.timestamp >= cutoff
+    ]
+    assert store.count() == len(expected_kept)
+
+
+@settings(max_examples=150, deadline=None)
+@given(observation=observations)
+def test_snapshot_line_round_trip(observation):
+    line = observation_to_json(observation)
+    restored = observation_from_json(line)
+    assert restored.to_dict() == observation.to_dict()
+    # Lines are self-contained JSON objects.
+    assert isinstance(json.loads(line), dict)
+
+
+@settings(max_examples=75, deadline=None)
+@given(batch=st.lists(observations, max_size=20))
+def test_forget_subject_removes_all_and_only(batch):
+    store = Datastore()
+    store.insert_many(batch)
+    removed = store.forget_subject("mary")
+    assert removed == sum(1 for o in batch if o.subject_id == "mary")
+    assert store.query(subject_id="mary") == []
+    assert store.count() == len(batch) - removed

@@ -1,0 +1,100 @@
+"""Property tests: policy documents round-trip through JSON."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.language.document import (
+    ObservationDescription,
+    ResourceDescription,
+    ResourcePolicyDocument,
+    ServicePolicyDocument,
+    SettingOptionDescription,
+    SettingsDocument,
+)
+from repro.core.language.vocabulary import GranularityLevel
+from tests.property.strategies import durations
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -_"),
+    min_size=1,
+    max_size=30,
+).filter(lambda s: s.strip())
+
+granularity_or_none = st.one_of(st.none(), st.sampled_from(list(GranularityLevel)))
+
+observation_descriptions = st.builds(
+    ObservationDescription,
+    name=names,
+    description=st.text(max_size=50),
+    granularity=granularity_or_none,
+    inferred=st.lists(names, max_size=3).map(tuple),
+)
+
+resources = st.builds(
+    ResourceDescription,
+    name=names,
+    spatial_name=names,
+    spatial_type=st.sampled_from(["Building", "Floor", "Room"]),
+    owner_name=st.one_of(st.just(""), names),
+    owner_more_info=st.one_of(st.just(""), st.just("https://example.org")),
+    sensor_type=names,
+    sensor_description=st.text(max_size=50),
+    purposes=st.dictionaries(names, st.text(max_size=30), min_size=1, max_size=3),
+    observations=st.lists(observation_descriptions, min_size=1, max_size=3).map(tuple),
+    retention=st.one_of(st.none(), durations),
+    retention_description=st.text(max_size=30),
+    resource_id=st.one_of(st.just(""), names),
+    settings_url=st.one_of(st.just(""), st.just("https://example.org/settings")),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(resource_list=st.lists(resources, min_size=1, max_size=3))
+def test_resource_document_round_trip(resource_list):
+    document = ResourcePolicyDocument(resource_list)
+    assert ResourcePolicyDocument.from_json(document.to_json()) == document
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    service_id=names,
+    observation_list=st.lists(observation_descriptions, min_size=1, max_size=3),
+    purposes=st.dictionaries(
+        names.filter(lambda n: n != "service_id"),
+        st.text(max_size=30),
+        min_size=1,
+        max_size=3,
+    ),
+    developer=st.one_of(st.just(""), names),
+    third_party=st.booleans(),
+)
+def test_service_document_round_trip(
+    service_id, observation_list, purposes, developer, third_party
+):
+    document = ServicePolicyDocument(
+        service_id=service_id,
+        observations=observation_list,
+        purposes=purposes,
+        developer_name=developer,
+        third_party=third_party,
+    )
+    assert ServicePolicyDocument.from_json(document.to_json()) == document
+
+
+setting_options = st.builds(
+    SettingOptionDescription,
+    description=names,
+    on=names,
+    granularity=granularity_or_none,
+    key=st.one_of(st.just(""), names),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    groups=st.lists(
+        st.lists(setting_options, min_size=1, max_size=4), min_size=1, max_size=3
+    )
+)
+def test_settings_document_round_trip(groups):
+    document = SettingsDocument(groups)
+    assert SettingsDocument.from_json(document.to_json()) == document

@@ -1,0 +1,36 @@
+"""Property tests: ISO-8601 durations."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.language.duration import Duration
+from tests.property.strategies import durations
+
+
+@given(durations)
+def test_isoformat_parse_round_trip(duration):
+    """Format-then-parse is the identity on component values."""
+    assert Duration.parse(duration.isoformat()) == duration
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_from_seconds_total_seconds_round_trip(total):
+    assert Duration.from_seconds(total).total_seconds() == total
+
+
+@given(durations, durations)
+def test_ordering_consistent_with_total_seconds(a, b):
+    assert (a < b) == (a.total_seconds() < b.total_seconds())
+    assert (a <= b) == (a.total_seconds() <= b.total_seconds())
+
+
+@given(durations)
+def test_total_seconds_non_negative(duration):
+    assert duration.total_seconds() >= 0
+
+
+@given(durations)
+def test_isoformat_is_valid_iso(duration):
+    text = duration.isoformat()
+    assert text.startswith("P")
+    # Parsing must never raise for our own output.
+    Duration.parse(text)

@@ -1,0 +1,89 @@
+"""Property test: the policy index is equivalent to a linear scan.
+
+The paper's Section V-C optimization must be a pure performance change:
+for any rule set and any request, matching against the index yields the
+exact same applicable rules (and hence the same resolution) as matching
+against the naive store.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.reasoner.index import LinearRuleStore, PolicyIndex
+from repro.core.reasoner.matcher import PolicyMatcher
+from repro.core.reasoner.resolution import ResolutionStrategy, resolve
+from repro.spatial.model import build_simple_building
+from tests.property.strategies import policies, preferences, requests
+
+_SPATIAL = build_simple_building("b", floors=2, rooms_per_floor=4)
+
+
+def make_context():
+    return EvaluationContext(
+        spatial=_SPATIAL,
+        user_profiles={"mary": frozenset({"faculty"}), "bob": frozenset({"staff"})},
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy_list=st.lists(policies, max_size=8),
+    preference_list=st.lists(preferences, max_size=8),
+    request=requests,
+)
+def test_index_matches_linear_scan(policy_list, preference_list, request):
+    context = make_context()
+    linear = LinearRuleStore()
+    index = PolicyIndex()
+    for policy in policy_list:
+        linear.add_policy(policy)
+        index.add_policy(policy)
+    for preference in preference_list:
+        linear.add_preference(preference)
+        index.add_preference(preference)
+
+    linear_match = PolicyMatcher(linear, context).match(request)
+    index_match = PolicyMatcher(index, context).match(request)
+
+    assert [p.policy_id for p in linear_match.policies] == [
+        p.policy_id for p in index_match.policies
+    ]
+    assert [p.preference_id for p in linear_match.preferences] == [
+        p.preference_id for p in index_match.preferences
+    ]
+
+    for strategy in ResolutionStrategy:
+        assert resolve(linear_match, strategy) == resolve(index_match, strategy)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    policy_list=st.lists(policies, max_size=6),
+    preference_list=st.lists(preferences, max_size=6),
+    request=requests,
+)
+def test_index_survives_removals(policy_list, preference_list, request):
+    context = make_context()
+    linear = LinearRuleStore()
+    index = PolicyIndex()
+    for policy in policy_list:
+        linear.add_policy(policy)
+        index.add_policy(policy)
+    for preference in preference_list:
+        linear.add_preference(preference)
+        index.add_preference(preference)
+    # Remove half the policies and one user's preferences from both.
+    for policy in policy_list[::2]:
+        linear.remove_policy(policy.policy_id)
+        index.remove_policy(policy.policy_id)
+    linear.remove_preferences_of("mary")
+    index.remove_preferences_of("mary")
+
+    linear_match = PolicyMatcher(linear, context).match(request)
+    index_match = PolicyMatcher(index, context).match(request)
+    assert [p.policy_id for p in linear_match.policies] == [
+        p.policy_id for p in index_match.policies
+    ]
+    assert [p.preference_id for p in linear_match.preferences] == [
+        p.preference_id for p in index_match.preferences
+    ]

@@ -1,0 +1,112 @@
+"""Property tests: resolution invariants across all strategies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.language.vocabulary import GranularityLevel
+from repro.core.policy.base import Effect
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.reasoner.matcher import PolicyMatcher
+from repro.core.reasoner.index import LinearRuleStore
+from repro.core.reasoner.resolution import ResolutionStrategy, resolve
+from tests.property.strategies import policies, preferences, requests
+
+strategies_list = st.sampled_from(list(ResolutionStrategy))
+
+
+def match_for(policy_list, preference_list, request):
+    store = LinearRuleStore()
+    for policy in policy_list:
+        store.add_policy(policy)
+    for preference in preference_list:
+        store.add_preference(preference)
+    return PolicyMatcher(store, EvaluationContext()).match(request)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    policy_list=st.lists(policies, max_size=6),
+    preference_list=st.lists(preferences, max_size=6),
+    request=requests,
+    strategy=strategies_list,
+)
+def test_core_invariants(policy_list, preference_list, request, strategy):
+    match = match_for(policy_list, preference_list, request)
+    resolution = resolve(match, strategy)
+
+    # Denied resolutions carry NONE granularity.
+    if resolution.effect is Effect.DENY:
+        assert resolution.granularity is GranularityLevel.NONE
+        return
+
+    # A grant never exceeds the requested granularity.
+    assert resolution.granularity.rank <= request.granularity.rank
+    # A grant never exceeds what some allowing policy authorizes.
+    max_policy = max(
+        (p.granularity.rank for p in match.allowing_policies), default=-1
+    )
+    assert resolution.granularity.rank <= max_policy
+    # A grant is never NONE.
+    assert resolution.granularity is not GranularityLevel.NONE
+    # Denying policies always win.
+    assert not match.denying_policies
+    # No authorization, no grant.
+    assert match.has_building_authorization
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    policy_list=st.lists(policies, max_size=6),
+    preference_list=st.lists(preferences, max_size=6),
+    request=requests,
+)
+def test_user_wins_honours_every_optout(policy_list, preference_list, request):
+    match = match_for(policy_list, preference_list, request)
+    resolution = resolve(match, ResolutionStrategy.USER_WINS)
+    if match.user_objects:
+        assert resolution.effect is Effect.DENY
+    if resolution.effect is Effect.ALLOW and match.preferences:
+        caps = [p.permitted_granularity().rank for p in match.preferences]
+        assert resolution.granularity.rank <= min(caps)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    policy_list=st.lists(policies, max_size=6),
+    preference_list=st.lists(preferences, max_size=6),
+    request=requests,
+)
+def test_negotiate_only_overrides_with_mandatory_and_notifies(
+    policy_list, preference_list, request
+):
+    match = match_for(policy_list, preference_list, request)
+    resolution = resolve(match, ResolutionStrategy.NEGOTIATE)
+    if resolution.effect is Effect.ALLOW and match.preferences:
+        caps = [p.permitted_granularity().rank for p in match.preferences]
+        exceeded = resolution.granularity.rank > min(caps)
+        if exceeded:
+            assert match.mandatory_policies, "only mandatory policies may override"
+            assert resolution.notify_user, "override requires notification"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy_list=st.lists(policies, min_size=1, max_size=6),
+    preference_list=st.lists(preferences, max_size=5),
+    extra_preference=preferences,
+    request=requests,
+)
+def test_adding_a_preference_never_reveals_more(
+    policy_list, preference_list, extra_preference, request
+):
+    """Under NEGOTIATE (without mandatory overrides), more preferences
+    can only restrict, never widen, what is released."""
+    non_mandatory = [
+        p for p in policy_list if not p.mandatory
+    ]
+    match_before = match_for(non_mandatory, preference_list, request)
+    match_after = match_for(
+        non_mandatory, preference_list + [extra_preference], request
+    )
+    before = resolve(match_before, ResolutionStrategy.NEGOTIATE)
+    after = resolve(match_after, ResolutionStrategy.NEGOTIATE)
+    assert after.granularity.rank <= before.granularity.rank

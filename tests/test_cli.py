@@ -1,0 +1,31 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi_access_point" in out
+        assert "total sensors: 790" in out
+
+    def test_lint_clean_set(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--population", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "step  1" in out
+        assert "after opt-out: DENIED" in out
+
+    def test_figure1_unconcerned(self, capsys):
+        assert main(["figure1", "--population", "8", "--persona", "unconcerned"]) == 0
+        assert "after opt-out: ALLOWED" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

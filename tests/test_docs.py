@@ -1,0 +1,58 @@
+"""Keep the documentation honest: its JSON examples must validate."""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.core.language.document import (
+    ResourcePolicyDocument,
+    ServicePolicyDocument,
+    SettingsDocument,
+)
+from repro.core.policy.serialization import preference_from_dict
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs" / "POLICY_LANGUAGE.md"
+
+
+@pytest.fixture(scope="module")
+def json_blocks():
+    text = DOCS.read_text()
+    blocks = re.findall(r"```json\n(.*?)```", text, re.S)
+    assert blocks, "the language doc must contain JSON examples"
+    return [json.loads(block) for block in blocks]
+
+
+class TestLanguageDocExamples:
+    def test_block_count(self, json_blocks):
+        assert len(json_blocks) == 4
+
+    def test_resource_example_parses(self, json_blocks):
+        document = ResourcePolicyDocument.from_dict(json_blocks[0])
+        assert document.resources[0].name == "Location tracking in DBH"
+        assert document.resources[0].retention.isoformat() == "P6M"
+
+    def test_service_example_parses(self, json_blocks):
+        document = ServicePolicyDocument.from_dict(json_blocks[1])
+        assert document.service_id == "Concierge"
+        assert not document.third_party
+
+    def test_settings_example_parses(self, json_blocks):
+        document = SettingsDocument.from_dict(json_blocks[2])
+        assert document.names == ["location"]
+        assert [opt.key for opt in document.groups[0]] == ["fine", "coarse", "off"]
+
+    def test_preference_example_parses(self, json_blocks):
+        preference = preference_from_dict(json_blocks[3])
+        assert preference.user_id == "mary"
+        assert preference.condition.time_sensitive
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_code_runs(self):
+        """The README's quickstart snippet must execute as written."""
+        readme = (DOCS.parent.parent / "README.md").read_text()
+        match = re.search(r"```python\n(.*?)```", readme, re.S)
+        assert match, "README must contain the quickstart snippet"
+        exec(compile(match.group(1), "<README quickstart>", "exec"), {})

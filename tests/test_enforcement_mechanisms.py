@@ -1,0 +1,161 @@
+"""Unit tests for privacy mechanisms."""
+
+import random
+
+import pytest
+
+from repro.core.enforcement.mechanisms import (
+    aggregate_counts,
+    coarsen_space,
+    degrade_observation,
+    laplace_noise,
+    noisy_counts,
+    suppress_personal_fields,
+)
+from repro.core.language.vocabulary import GranularityLevel
+from repro.errors import EnforcementError
+from repro.sensors.base import Observation
+from repro.sensors.ontology import default_ontology
+from repro.spatial.model import build_simple_building
+
+
+@pytest.fixture
+def spatial():
+    return build_simple_building("b", floors=2, rooms_per_floor=4)
+
+
+def observation(space_id="b-1001", subject="mary", sensor_type="wifi_access_point"):
+    return Observation.create(
+        sensor_id="ap-1",
+        sensor_type=sensor_type,
+        timestamp=10.0,
+        space_id=space_id,
+        payload={"device_mac": "aa:bb", "ap_mac": "ap:1", "rssi": -40.0},
+        subject_id=subject,
+    )
+
+
+class TestCoarsenSpace:
+    def test_precise_keeps_space(self, spatial):
+        assert coarsen_space("b-1001", GranularityLevel.PRECISE, spatial) == "b-1001"
+
+    def test_coarse_reports_floor(self, spatial):
+        assert coarsen_space("b-1001", GranularityLevel.COARSE, spatial) == "b-f1"
+
+    def test_building_level(self, spatial):
+        assert coarsen_space("b-1001", GranularityLevel.BUILDING, spatial) == "b"
+
+    def test_none_hides(self, spatial):
+        assert coarsen_space("b-1001", GranularityLevel.NONE, spatial) is None
+
+    def test_missing_model_hides_rather_than_leaks(self):
+        assert coarsen_space("b-1001", GranularityLevel.COARSE, None) is None
+
+    def test_unknown_space_hides(self, spatial):
+        assert coarsen_space("mars", GranularityLevel.COARSE, spatial) is None
+
+    def test_already_coarse_space_kept(self, spatial):
+        assert coarsen_space("b-f1", GranularityLevel.COARSE, spatial) == "b-f1"
+        assert coarsen_space("b", GranularityLevel.COARSE, spatial) == "b"
+
+    def test_none_space_passthrough(self, spatial):
+        assert coarsen_space(None, GranularityLevel.COARSE, spatial) is None
+
+
+class TestSuppressFields:
+    def test_redacts_only_listed(self):
+        out = suppress_personal_fields({"a": 1, "b": 2}, ["a"])
+        assert out == {"a": "[redacted]", "b": 2}
+
+    def test_original_untouched(self):
+        payload = {"a": 1}
+        suppress_personal_fields(payload, ["a"])
+        assert payload == {"a": 1}
+
+
+class TestDegradeObservation:
+    def test_none_drops(self, spatial):
+        assert degrade_observation(observation(), GranularityLevel.NONE, spatial) is None
+
+    def test_precise_identity(self, spatial):
+        obs = observation()
+        assert degrade_observation(obs, GranularityLevel.PRECISE, spatial) is obs
+
+    def test_coarse_moves_to_floor(self, spatial):
+        out = degrade_observation(observation(), GranularityLevel.COARSE, spatial)
+        assert out.space_id == "b-f1"
+        assert out.subject_id == "mary", "coarse keeps attribution"
+        assert out.granularity == "coarse"
+
+    def test_aggregate_deidentifies(self, spatial):
+        out = degrade_observation(
+            observation(),
+            GranularityLevel.AGGREGATE,
+            spatial,
+            ontology=default_ontology(),
+        )
+        assert out.subject_id is None
+        assert out.payload["device_mac"] == "[redacted]"
+        assert out.payload["rssi"] == -40.0, "non-personal fields kept"
+
+    def test_aggregate_without_ontology_keeps_payload(self, spatial):
+        out = degrade_observation(observation(), GranularityLevel.AGGREGATE, spatial)
+        assert out.subject_id is None
+        assert out.payload["device_mac"] == "aa:bb"
+
+
+class TestAggregateCounts:
+    def make(self, space, subject):
+        return Observation.create("s", "bluetooth_beacon", 0.0, space, {}, subject_id=subject)
+
+    def test_k_suppression(self):
+        observations = [
+            self.make("r1", "a"), self.make("r1", "b"), self.make("r1", "c"),
+            self.make("r2", "d"), self.make("r2", "e"),
+        ]
+        counts = aggregate_counts(observations, k=3)
+        assert counts == {"r1": 3}
+
+    def test_distinct_subjects_counted_once(self):
+        observations = [self.make("r1", "a")] * 5
+        assert aggregate_counts(observations, k=1) == {"r1": 1}
+
+    def test_unattributed_ignored(self):
+        observations = [self.make("r1", None), self.make(None, "a")]
+        assert aggregate_counts(observations, k=1) == {}
+
+    def test_invalid_k(self):
+        with pytest.raises(EnforcementError):
+            aggregate_counts([], k=0)
+
+
+class TestLaplaceNoise:
+    def test_deterministic_with_seed(self):
+        a = laplace_noise(10.0, rng=random.Random(1))
+        b = laplace_noise(10.0, rng=random.Random(1))
+        assert a == b
+
+    def test_mean_approximately_unbiased(self):
+        rng = random.Random(42)
+        samples = [laplace_noise(0.0, 1.0, 1.0, rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples)) < 0.1
+
+    def test_scale_shrinks_with_epsilon(self):
+        rng = random.Random(0)
+        wide = [abs(laplace_noise(0.0, 1.0, 0.1, rng)) for _ in range(2000)]
+        rng = random.Random(0)
+        narrow = [abs(laplace_noise(0.0, 1.0, 10.0, rng)) for _ in range(2000)]
+        assert sum(wide) > sum(narrow) * 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EnforcementError):
+            laplace_noise(0.0, epsilon=0.0)
+        with pytest.raises(EnforcementError):
+            laplace_noise(0.0, sensitivity=-1.0)
+
+    def test_noisy_counts_deterministic(self):
+        counts = {"r1": 3, "r2": 5}
+        a = noisy_counts(counts, rng=random.Random(7))
+        b = noisy_counts(counts, rng=random.Random(7))
+        assert a == b
+        assert set(a) == {"r1", "r2"}

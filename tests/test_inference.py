@@ -1,0 +1,164 @@
+"""Unit tests for the inference engine (processing)."""
+
+import pytest
+
+from repro.sensors.base import Observation
+from repro.spatial.model import build_simple_building
+from repro.tippers.datastore import Datastore
+from repro.tippers.inference import InferenceEngine
+
+
+def sighting(timestamp, subject, space, sensor_type="wifi_access_point"):
+    return Observation.create(
+        sensor_id="s",
+        sensor_type=sensor_type,
+        timestamp=timestamp,
+        space_id=space,
+        payload={},
+        subject_id=subject,
+    )
+
+
+def motion(timestamp, space, moving=True):
+    return Observation.create(
+        sensor_id="m",
+        sensor_type="motion_sensor",
+        timestamp=timestamp,
+        space_id=space,
+        payload={"motion": 1 if moving else 0},
+    )
+
+
+@pytest.fixture
+def engine():
+    datastore = Datastore()
+    spatial = build_simple_building("b", 2, 4)
+    return InferenceEngine(datastore, spatial), datastore
+
+
+class TestOccupancy:
+    def test_motion_implies_occupied(self, engine):
+        inference, datastore = engine
+        datastore.insert(motion(100.0, "b-1001"))
+        assert inference.is_occupied("b-1001", 150.0)
+
+    def test_zero_motion_not_occupied(self, engine):
+        inference, datastore = engine
+        datastore.insert(motion(100.0, "b-1001", moving=False))
+        assert not inference.is_occupied("b-1001", 150.0)
+
+    def test_stale_motion_expires(self, engine):
+        inference, datastore = engine
+        datastore.insert(motion(100.0, "b-1001"))
+        assert not inference.is_occupied("b-1001", 100.0 + 1000.0, window_s=300.0)
+
+    def test_wifi_sighting_implies_occupied(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        assert inference.is_occupied("b-1001", 150.0)
+
+    def test_occupant_count_distinct(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        datastore.insert(sighting(110.0, "mary", "b-1001"))
+        datastore.insert(sighting(120.0, "bob", "b-1001"))
+        assert inference.occupant_count("b-1001", 150.0) == 2
+
+    def test_occupancy_map(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        datastore.insert(sighting(100.0, "bob", "b-2001"))
+        assert inference.occupancy_map(150.0) == {"b-1001": 1, "b-2001": 1}
+
+
+class TestLocation:
+    def test_locate_latest_wins(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        datastore.insert(sighting(200.0, "mary", "b-1002", "bluetooth_beacon"))
+        estimate = inference.locate("mary", 250.0)
+        assert estimate.space_id == "b-1002"
+        assert estimate.source_sensor_type == "bluetooth_beacon"
+
+    def test_locate_outside_window(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        assert inference.locate("mary", 100.0 + 10000.0, window_s=900.0) is None
+
+    def test_locate_unknown_subject(self, engine):
+        inference, _ = engine
+        assert inference.locate("ghost", 100.0) is None
+
+    def test_is_present(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        assert inference.is_present("mary", 150.0)
+        assert not inference.is_present("bob", 150.0)
+
+    def test_people_in_exact_space(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        datastore.insert(sighting(100.0, "bob", "b-1002"))
+        assert inference.people_in("b-1001", 150.0) == ["mary"]
+
+    def test_people_in_containing_space(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        datastore.insert(sighting(100.0, "bob", "b-2001"))
+        assert inference.people_in("b-f1", 150.0) == ["mary"]
+        assert inference.people_in("b", 150.0) == ["bob", "mary"]
+
+    def test_person_moving_counted_once(self, engine):
+        inference, datastore = engine
+        datastore.insert(sighting(100.0, "mary", "b-1001"))
+        datastore.insert(sighting(200.0, "mary", "b-2001"))
+        assert inference.people_in("b-1001", 250.0) == []
+        assert inference.people_in("b-2001", 250.0) == ["mary"]
+
+
+class TestActivityPatterns:
+    def fill_day(self, datastore, subject, day, arrival_h, departure_h):
+        base = day * 86400.0
+        datastore.insert(sighting(base + arrival_h * 3600.0, subject, "b-1001"))
+        datastore.insert(sighting(base + (arrival_h + 2) * 3600.0, subject, "b-1001"))
+        datastore.insert(sighting(base + departure_h * 3600.0, subject, "b-1001"))
+
+    def test_daily_bounds(self, engine):
+        inference, datastore = engine
+        self.fill_day(datastore, "mary", 0, 9.0, 17.0)
+        bounds = inference.daily_bounds("mary", 0)
+        assert bounds[0] == pytest.approx(9.0)
+        assert bounds[1] == pytest.approx(17.0)
+
+    def test_daily_bounds_no_data(self, engine):
+        inference, _ = engine
+        assert inference.daily_bounds("mary", 0) is None
+
+    def test_activity_pattern_averages_days(self, engine):
+        inference, datastore = engine
+        self.fill_day(datastore, "mary", 0, 9.0, 17.0)
+        self.fill_day(datastore, "mary", 1, 11.0, 19.0)
+        pattern = inference.activity_pattern("mary")
+        assert pattern.days_observed == 2
+        assert pattern.mean_arrival_hour == pytest.approx(10.0)
+        assert pattern.mean_departure_hour == pytest.approx(18.0)
+        assert pattern.mean_hours_in_building == pytest.approx(8.0)
+
+    def test_guess_role_heuristics(self, engine):
+        inference, datastore = engine
+        self.fill_day(datastore, "staffer", 0, 7.0, 16.5)
+        self.fill_day(datastore, "grad", 0, 11.0, 22.0)
+        self.fill_day(datastore, "prof", 0, 9.0, 18.0)
+        assert inference.guess_role("staffer") == "staff"
+        assert inference.guess_role("grad") == "grad-student"
+        assert inference.guess_role("prof") == "faculty"
+
+    def test_guess_role_without_data(self, engine):
+        inference, _ = engine
+        assert inference.guess_role("ghost") is None
+
+    def test_deidentified_data_defeats_attack(self, engine):
+        inference, datastore = engine
+        # Aggregate-granularity observations carry no subject.
+        datastore.insert(sighting(9 * 3600.0, None, "b-1001"))
+        assert inference.guess_role("mary") is None

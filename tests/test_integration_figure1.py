@@ -1,0 +1,73 @@
+"""Integration test: the full Figure-1 interaction on synthetic DBH."""
+
+import pytest
+
+from repro.core.reasoner.resolution import ResolutionStrategy
+from repro.simulation.scenario import run_figure1_scenario
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_figure1_scenario(
+        population=15, mary_persona="fundamentalist", capture_ticks=5
+    )
+
+
+class TestFigure1EndToEnd:
+    def test_all_steps_ran(self, report):
+        assert {s.step for s in report.steps} == {1, 2, 4, 5, 7, 8, 9}
+
+    def test_policies_defined(self, report):
+        assert "4 policies" in report.step_titled(1).detail
+
+    def test_data_captured(self, report):
+        assert report.observations_stored > 0
+
+    def test_irr_advertised(self, report):
+        assert "2 advertisements" in report.step_titled(4).detail
+
+    def test_iota_discovered_and_notified(self, report):
+        assert "resources" in report.step_titled(5).detail
+        assert report.notifications > 0
+
+    def test_settings_configured_with_conflicts(self, report):
+        assert "off" in report.step_titled(8).detail
+        assert report.conflicts, "hard conflict with mandatory policy reported"
+        assert any("hard conflict" in c for c in report.conflicts)
+
+    def test_step10_enforcement_flips(self, report):
+        assert report.location_allowed_before_optout is True
+        assert report.location_allowed_after_optout is False
+
+    def test_audit_has_records(self, report):
+        assert report.audit_summary["total"] > 0
+        assert report.audit_summary.get("deny", 0) > 0
+
+    def test_timings_positive(self, report):
+        assert report.total_elapsed_s() > 0
+        assert all(s.elapsed_s >= 0 for s in report.steps)
+
+    def test_rows_shape(self, report):
+        rows = report.as_rows()
+        assert len(rows) == len(report.steps)
+        assert all(len(row) == 4 for row in rows)
+
+
+class TestPersonaVariation:
+    def test_unconcerned_mary_keeps_sharing_on(self):
+        report = run_figure1_scenario(
+            population=10, mary_persona="unconcerned", capture_ticks=3
+        )
+        assert report.location_allowed_after_optout is True
+        assert "fine" in report.step_titled(8).detail
+
+
+class TestStrategyVariation:
+    def test_building_wins_overrides_optout(self):
+        report = run_figure1_scenario(
+            population=10,
+            mary_persona="fundamentalist",
+            capture_ticks=3,
+            strategy=ResolutionStrategy.BUILDING_WINS,
+        )
+        assert report.location_allowed_after_optout is True

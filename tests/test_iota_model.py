@@ -1,0 +1,144 @@
+"""Unit tests for the preference learner."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.errors import PolicyError
+from repro.iota.personas import PERSONAS, generate_decisions
+from repro.iota.preference_model import (
+    FEATURE_NAMES,
+    DataPractice,
+    LabeledDecision,
+    PreferenceModel,
+)
+
+
+def practice(**overrides):
+    defaults = dict(
+        category=DataCategory.LOCATION,
+        purpose=Purpose.PROVIDING_SERVICE,
+        granularity=GranularityLevel.PRECISE,
+        retention_days=30.0,
+        third_party=False,
+    )
+    defaults.update(overrides)
+    return DataPractice(**defaults)
+
+
+class TestFeatures:
+    def test_feature_vector_shape_and_range(self):
+        features = practice().features()
+        assert len(features) == len(FEATURE_NAMES)
+        assert all(0.0 <= f <= 1.0 for f in features)
+
+    def test_third_party_sets_sharing_feature(self):
+        shared = practice(third_party=True).features()
+        local = practice().features()
+        index = FEATURE_NAMES.index("shared_beyond_building")
+        assert shared[index] == 1.0
+        assert local[index] == 0.0
+
+    def test_granularity_scales_feature(self):
+        fine = practice(granularity=GranularityLevel.PRECISE).features()
+        coarse = practice(granularity=GranularityLevel.COARSE).features()
+        index = FEATURE_NAMES.index("granularity")
+        assert fine[index] > coarse[index]
+
+
+class TestPrior:
+    def test_untrained_model_is_protective(self):
+        model = PreferenceModel()
+        risky = practice(
+            category=DataCategory.IDENTITY,
+            purpose=Purpose.MARKETING,
+            third_party=True,
+        )
+        benign = practice(
+            category=DataCategory.TEMPERATURE,
+            purpose=Purpose.COMFORT,
+            granularity=GranularityLevel.AGGREGATE,
+        )
+        assert model.comfort(risky) < 0.5
+        assert model.comfort(benign) > 0.5
+
+    def test_comfort_in_unit_interval(self):
+        model = PreferenceModel()
+        assert 0.0 <= model.comfort(practice()) <= 1.0
+
+
+class TestTraining:
+    @pytest.mark.parametrize("persona_name", sorted(PERSONAS))
+    def test_learns_each_persona(self, persona_name):
+        persona = PERSONAS[persona_name]
+        train = generate_decisions(persona, 250, seed=1, noise=0.0)
+        test = generate_decisions(persona, 100, seed=2, noise=0.0)
+        model = PreferenceModel().fit(train)
+        assert model.accuracy(test) >= 0.75
+
+    def test_fit_on_empty_is_noop(self):
+        model = PreferenceModel()
+        before = list(model.weights)
+        model.fit([])
+        assert model.weights == before
+        assert model.trained_on == 0
+
+    def test_online_update_moves_prediction(self):
+        model = PreferenceModel()
+        target = practice(category=DataCategory.IDENTITY, purpose=Purpose.MARKETING, third_party=True)
+        before = model.comfort(target)
+        for _ in range(20):
+            model.update(LabeledDecision(practice=target, allowed=True))
+        assert model.comfort(target) > before
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(PolicyError):
+            PreferenceModel(learning_rate=0)
+        with pytest.raises(PolicyError):
+            PreferenceModel(epochs=0)
+
+    def test_accuracy_on_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            PreferenceModel().accuracy([])
+
+    def test_deterministic_training(self):
+        decisions = generate_decisions(PERSONAS["pragmatist"], 100, seed=5)
+        a = PreferenceModel().fit(decisions)
+        b = PreferenceModel().fit(decisions)
+        assert a.weights == b.weights
+        assert a.bias == b.bias
+
+
+class TestPreferredGranularity:
+    def test_unconcerned_picks_finest(self):
+        model = PreferenceModel().fit(
+            generate_decisions(PERSONAS["unconcerned"], 250, seed=1, noise=0.0)
+        )
+        choice = model.preferred_granularity(
+            DataCategory.LOCATION,
+            Purpose.PROVIDING_SERVICE,
+            [GranularityLevel.PRECISE, GranularityLevel.COARSE, GranularityLevel.NONE],
+        )
+        assert choice is GranularityLevel.PRECISE
+
+    def test_fundamentalist_picks_strictest(self):
+        model = PreferenceModel().fit(
+            generate_decisions(PERSONAS["fundamentalist"], 250, seed=1, noise=0.0)
+        )
+        choice = model.preferred_granularity(
+            DataCategory.LOCATION,
+            Purpose.PROVIDING_SERVICE,
+            [GranularityLevel.PRECISE, GranularityLevel.COARSE, GranularityLevel.NONE],
+        )
+        assert choice is GranularityLevel.NONE
+
+    def test_empty_offering_rejected(self):
+        with pytest.raises(PolicyError):
+            PreferenceModel().preferred_granularity(
+                DataCategory.LOCATION, Purpose.PROVIDING_SERVICE, []
+            )
+
+    def test_explain_names_every_feature(self):
+        explanation = PreferenceModel().explain()
+        for name in FEATURE_NAMES:
+            assert name in explanation
+        assert "bias" in explanation

@@ -1,0 +1,114 @@
+"""Unit tests for the notification manager (fatigue model)."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.errors import PolicyError
+from repro.iota.notifications import NotificationManager
+from repro.iota.personas import PERSONAS, generate_decisions
+from repro.iota.preference_model import DataPractice, PreferenceModel
+
+
+def practice(**overrides):
+    defaults = dict(
+        category=DataCategory.IDENTITY,
+        purpose=Purpose.MARKETING,
+        granularity=GranularityLevel.PRECISE,
+        third_party=True,
+    )
+    defaults.update(overrides)
+    return DataPractice(**defaults)
+
+
+def benign_practice():
+    return practice(
+        category=DataCategory.TEMPERATURE,
+        purpose=Purpose.COMFORT,
+        granularity=GranularityLevel.AGGREGATE,
+        third_party=False,
+    )
+
+
+@pytest.fixture
+def manager():
+    return NotificationManager(PreferenceModel(), relevance_threshold=0.3, daily_budget=3)
+
+
+class TestRelevance:
+    def test_sensitive_practice_scores_high(self, manager):
+        assert manager.relevance(practice()) > manager.relevance(benign_practice())
+
+    def test_relevance_in_unit_interval(self, manager):
+        assert 0.0 <= manager.relevance(practice()) <= 1.0
+
+    def test_known_accepted_practice_scores_lower(self):
+        model = PreferenceModel().fit(
+            generate_decisions(PERSONAS["unconcerned"], 250, seed=1, noise=0.0)
+        )
+        trusting = NotificationManager(model)
+        fresh = NotificationManager(PreferenceModel())
+        p = practice(category=DataCategory.LOCATION, purpose=Purpose.PROVIDING_SERVICE, third_party=False)
+        assert trusting.relevance(p) < fresh.relevance(p)
+
+
+class TestOffer:
+    def test_relevant_practice_notified(self, manager):
+        notification = manager.offer(0.0, practice(), "identity for marketing")
+        assert notification is not None
+        assert notification.relevance >= 0.3
+
+    def test_low_relevance_suppressed(self, manager):
+        assert manager.offer(0.0, benign_practice(), "temperature") is None
+        assert manager.suppressed_low_relevance == 1
+
+    def test_duplicates_suppressed(self, manager):
+        assert manager.offer(0.0, practice(), "x") is not None
+        assert manager.offer(10.0, practice(), "x again") is None
+        assert manager.suppressed_duplicate == 1
+
+    def test_different_source_not_duplicate(self, manager):
+        assert manager.offer(0.0, practice(), "x", source="irr-1") is not None
+        assert manager.offer(1.0, practice(), "x", source="irr-2") is not None
+
+    _DISTINCT = (
+        DataCategory.IDENTITY,
+        DataCategory.LOCATION,
+        DataCategory.SOCIAL_TIES,
+        DataCategory.ACTIVITY,
+    )
+
+    def test_daily_budget(self, manager):
+        for i in range(3):
+            assert manager.offer(float(i), practice(category=self._DISTINCT[i]), "p%d" % i)
+        overflow = manager.offer(3.0, practice(category=self._DISTINCT[3]), "p3")
+        assert overflow is None
+        assert manager.suppressed_budget == 1
+
+    def test_budget_resets_next_day(self, manager):
+        for i in range(3):
+            manager.offer(float(i), practice(category=self._DISTINCT[i]), "p%d" % i)
+        blocked = practice(category=self._DISTINCT[3])
+        assert manager.offer(3.0, blocked, "p3") is None
+        # Next day the same (still unseen) practice goes through.
+        assert manager.offer(86400.0 + 1.0, blocked, "p3") is not None
+
+    def test_stats_shape(self, manager):
+        manager.offer(0.0, practice(), "x")
+        manager.offer(1.0, benign_practice(), "y")
+        stats = manager.stats()
+        assert stats["sent"] == 1
+        assert stats["suppressed_low_relevance"] == 1
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(PolicyError):
+            NotificationManager(PreferenceModel(), relevance_threshold=1.5)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(PolicyError):
+            NotificationManager(PreferenceModel(), daily_budget=-1)
+
+    def test_zero_budget_suppresses_everything(self):
+        manager = NotificationManager(PreferenceModel(), daily_budget=0)
+        assert manager.offer(0.0, practice(), "x") is None

@@ -1,0 +1,111 @@
+"""Unit tests for privacy personas and decision generation."""
+
+import random
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.errors import PolicyError
+from repro.iota.personas import (
+    PERSONAS,
+    Persona,
+    generate_decisions,
+    sample_practice,
+)
+from repro.iota.preference_model import DataPractice
+
+
+def practice(**overrides):
+    defaults = dict(
+        category=DataCategory.LOCATION,
+        purpose=Purpose.PROVIDING_SERVICE,
+        granularity=GranularityLevel.PRECISE,
+    )
+    defaults.update(overrides)
+    return DataPractice(**defaults)
+
+
+class TestPersonaOrdering:
+    def test_tolerance_ordering(self):
+        assert (
+            PERSONAS["fundamentalist"].tolerance
+            < PERSONAS["pragmatist"].tolerance
+            < PERSONAS["unconcerned"].tolerance
+        )
+
+    def test_unconcerned_allows_more_than_fundamentalist(self):
+        rng = random.Random(0)
+        practices = [sample_practice(rng) for _ in range(300)]
+        unconcerned = sum(PERSONAS["unconcerned"].allows(p) for p in practices)
+        fundamentalist = sum(PERSONAS["fundamentalist"].allows(p) for p in practices)
+        assert unconcerned > fundamentalist * 2
+
+    def test_everyone_rejects_third_party_identity_marketing(self):
+        bad = practice(
+            category=DataCategory.IDENTITY,
+            purpose=Purpose.MARKETING,
+            third_party=True,
+            retention_days=365.0,
+        )
+        for persona in PERSONAS.values():
+            assert not persona.allows(bad)
+
+    def test_everyone_accepts_anonymous_temperature(self):
+        benign = practice(
+            category=DataCategory.TEMPERATURE,
+            purpose=Purpose.COMFORT,
+            granularity=GranularityLevel.AGGREGATE,
+            retention_days=1.0,
+        )
+        for persona in PERSONAS.values():
+            assert persona.allows(benign)
+
+
+class TestPersonaMechanics:
+    def test_third_party_raises_discomfort(self):
+        persona = PERSONAS["pragmatist"]
+        assert persona.discomfort(practice(third_party=True)) > persona.discomfort(practice())
+
+    def test_retention_raises_discomfort(self):
+        persona = PERSONAS["pragmatist"]
+        long = practice(retention_days=365.0)
+        short = practice(retention_days=1.0)
+        assert persona.discomfort(long) > persona.discomfort(short)
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(PolicyError):
+            Persona(name="x", tolerance=2.0)
+
+    def test_noiseless_decision_matches_allows(self):
+        persona = PERSONAS["pragmatist"]
+        p = practice()
+        decision = persona.decide(p, noise=0.0)
+        assert decision.allowed == persona.allows(p)
+
+
+class TestGeneration:
+    def test_reproducible_with_seed(self):
+        a = generate_decisions(PERSONAS["pragmatist"], 50, seed=9)
+        b = generate_decisions(PERSONAS["pragmatist"], 50, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_decisions(PERSONAS["pragmatist"], 50, seed=1)
+        b = generate_decisions(PERSONAS["pragmatist"], 50, seed=2)
+        assert a != b
+
+    def test_count_respected(self):
+        assert len(generate_decisions(PERSONAS["pragmatist"], 17)) == 17
+        assert generate_decisions(PERSONAS["pragmatist"], 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(PolicyError):
+            generate_decisions(PERSONAS["pragmatist"], -1)
+
+    def test_noise_flips_some_labels(self):
+        clean = generate_decisions(PERSONAS["pragmatist"], 300, seed=4, noise=0.0)
+        noisy = generate_decisions(PERSONAS["pragmatist"], 300, seed=4, noise=0.3)
+        flips = sum(
+            1 for c, n in zip(clean, noisy) if c.practice == n.practice and c.allowed != n.allowed
+        )
+        assert flips > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the fluent document builders."""
+
+import pytest
+
+from repro.core.language.builder import (
+    ResourcePolicyBuilder,
+    ServicePolicyBuilder,
+    SettingsBuilder,
+)
+from repro.core.language.vocabulary import GranularityLevel
+from repro.errors import SchemaError
+
+
+class TestResourcePolicyBuilder:
+    def test_builds_figure2(self):
+        document = (
+            ResourcePolicyBuilder()
+            .resource("Location tracking in DBH")
+            .at("Donald Bren Hall", "Building", owner="UCI", more_info="https://uci.edu")
+            .sensor("WiFi Access Point", "Installed inside the building")
+            .purpose("emergency response", "Location is stored continuously")
+            .observes("MAC address of the device", "MAC is stored")
+            .retain("P6M")
+            .build()
+        )
+        data = document.to_dict()
+        assert data["resources"][0]["retention"]["duration"] == "P6M"
+        assert data["resources"][0]["context"]["location"]["location_owner"]["name"] == "UCI"
+
+    def test_multiple_resources(self):
+        document = (
+            ResourcePolicyBuilder()
+            .resource("A")
+            .at("B", "Building")
+            .sensor("camera")
+            .purpose("security")
+            .observes("presence")
+            .done()
+            .resource("B")
+            .at("B", "Building")
+            .sensor("power_meter")
+            .purpose("energy_management")
+            .observes("energy_use")
+            .build()
+        )
+        assert len(document.resources) == 2
+
+    def test_describe_before_resource_rejected(self):
+        with pytest.raises(SchemaError):
+            ResourcePolicyBuilder().at("B", "Building")
+
+    def test_bad_retention_rejected_eagerly(self):
+        builder = ResourcePolicyBuilder().resource("A")
+        with pytest.raises(SchemaError):
+            builder.retain("half a year")
+
+    def test_resource_without_observations_fails_at_build(self):
+        builder = (
+            ResourcePolicyBuilder()
+            .resource("A")
+            .at("B", "Building")
+            .sensor("camera")
+            .purpose("security")
+        )
+        with pytest.raises(SchemaError):
+            builder.build()
+
+
+class TestServicePolicyBuilder:
+    def test_builds_figure3(self):
+        document = (
+            ServicePolicyBuilder("Concierge")
+            .observes("wifi_access_point", "MAC stored")
+            .observes("bluetooth_beacon", "room stored")
+            .purpose("providing_service", "directions")
+            .build()
+        )
+        assert document.service_id == "Concierge"
+        assert len(document.observations) == 2
+
+    def test_third_party_flag(self):
+        document = (
+            ServicePolicyBuilder("food")
+            .observes("location")
+            .purpose("providing_service")
+            .developer("LunchCo", third_party=True)
+            .build()
+        )
+        assert document.third_party
+
+    def test_empty_purposes_rejected(self):
+        with pytest.raises(SchemaError):
+            ServicePolicyBuilder("s").observes("x").build()
+
+
+class TestSettingsBuilder:
+    def test_builds_figure4(self):
+        document = (
+            SettingsBuilder()
+            .group("location")
+            .option("fine grained location sensing", "wifi=opt-in", GranularityLevel.PRECISE)
+            .option("coarse grained location sensing", "wifi=opt-in", GranularityLevel.COARSE)
+            .option("No location sensing", "wifi=opt-out", GranularityLevel.NONE)
+            .build()
+        )
+        assert len(document.groups[0]) == 3
+        assert document.names == ["location"]
+
+    def test_option_without_group_starts_one(self):
+        document = SettingsBuilder().option("a", "x=1").build()
+        assert len(document.groups) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            SettingsBuilder().build()

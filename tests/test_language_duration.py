@@ -1,0 +1,81 @@
+"""Unit tests for ISO-8601 durations."""
+
+import pytest
+
+from repro.core.language.duration import Duration
+from repro.errors import SchemaError
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected_seconds",
+        [
+            ("P6M", 6 * 30 * 86400),       # the paper's Figure 2 value
+            ("P1Y", 365 * 86400),
+            ("P2W", 14 * 86400),
+            ("P7D", 7 * 86400),
+            ("PT1H", 3600),
+            ("PT30M", 1800),
+            ("PT45S", 45),
+            ("P1DT12H", 86400 + 12 * 3600),
+            ("P1Y2M3DT4H5M6S", 365 * 86400 + 2 * 30 * 86400 + 3 * 86400 + 4 * 3600 + 5 * 60 + 6),
+        ],
+    )
+    def test_parse_values(self, text, expected_seconds):
+        assert Duration.parse(text).total_seconds() == expected_seconds
+
+    @pytest.mark.parametrize("bad", ["", "P", "PT", "6M", "P6", "P-6M", "P6M3Y", "PT1H2H", 42])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            Duration.parse(bad)
+
+    def test_month_minute_disambiguation(self):
+        months = Duration.parse("P6M")
+        minutes = Duration.parse("PT6M")
+        assert months.months == 6 and months.minutes == 0
+        assert minutes.minutes == 6 and minutes.months == 0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "text", ["P6M", "P1Y", "P7D", "PT1H", "PT30M", "P1DT12H", "P2W"]
+    )
+    def test_round_trip(self, text):
+        assert Duration.parse(text).isoformat() == text
+
+    def test_zero_duration_formats(self):
+        assert Duration().isoformat() == "PT0S"
+
+    def test_str_is_isoformat(self):
+        assert str(Duration.parse("P6M")) == "P6M"
+
+
+class TestFromSeconds:
+    def test_exact_decomposition(self):
+        duration = Duration.from_seconds(90061)  # 1d 1h 1m 1s
+        assert (duration.days, duration.hours, duration.minutes, duration.seconds) == (
+            1,
+            1,
+            1,
+            1,
+        )
+
+    def test_round_trip_through_seconds(self):
+        for total in (0, 59, 3600, 86400, 86400 * 400 + 3661):
+            assert Duration.from_seconds(total).total_seconds() == total
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            Duration.from_seconds(-1)
+
+
+class TestComparison:
+    def test_ordering_by_length(self):
+        assert Duration.parse("P1D") < Duration.parse("P1W")
+        assert Duration.parse("P1Y") > Duration.parse("P6M")
+        assert Duration.parse("PT60M") <= Duration.parse("PT1H")
+        assert Duration.parse("PT1H") >= Duration.parse("PT60M")
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(SchemaError):
+            Duration(days=-1)

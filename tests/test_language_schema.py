@@ -1,0 +1,256 @@
+"""Unit tests for the JSON-Schema subset validator."""
+
+import pytest
+
+from repro.core.language.schema import (
+    RESOURCE_POLICY_SCHEMA,
+    SERVICE_POLICY_SCHEMA,
+    SETTINGS_SCHEMA,
+    Schema,
+    ValidationError,
+    validate,
+)
+from repro.errors import SchemaError
+
+
+class TestTypeChecks:
+    @pytest.mark.parametrize(
+        "value,type_name",
+        [
+            ({}, "object"),
+            ([], "array"),
+            ("x", "string"),
+            (1.5, "number"),
+            (3, "integer"),
+            (True, "boolean"),
+            (None, "null"),
+        ],
+    )
+    def test_accepting(self, value, type_name):
+        validate(value, {"type": type_name})
+
+    def test_bool_is_not_number(self):
+        with pytest.raises(ValidationError):
+            validate(True, {"type": "number"})
+
+    def test_int_is_number(self):
+        validate(3, {"type": "number"})
+
+    def test_type_union(self):
+        validate(None, {"type": ["string", "null"]})
+        with pytest.raises(ValidationError):
+            validate(3, {"type": ["string", "null"]})
+
+    def test_unknown_type_is_schema_bug(self):
+        with pytest.raises(SchemaError):
+            validate(1, {"type": "quaternion"})
+
+
+class TestConstraints:
+    def test_enum(self):
+        validate("a", {"enum": ["a", "b"]})
+        with pytest.raises(ValidationError):
+            validate("c", {"enum": ["a", "b"]})
+
+    def test_pattern(self):
+        validate("P6M", {"type": "string", "pattern": r"^P\d+M$"})
+        with pytest.raises(ValidationError):
+            validate("6M", {"type": "string", "pattern": r"^P\d+M$"})
+
+    def test_string_lengths(self):
+        schema = {"type": "string", "minLength": 2, "maxLength": 3}
+        validate("ab", schema)
+        with pytest.raises(ValidationError):
+            validate("a", schema)
+        with pytest.raises(ValidationError):
+            validate("abcd", schema)
+
+    def test_numeric_bounds(self):
+        schema = {"type": "number", "minimum": 0, "maximum": 10}
+        validate(0, schema)
+        validate(10, schema)
+        with pytest.raises(ValidationError):
+            validate(-1, schema)
+        with pytest.raises(ValidationError):
+            validate(11, schema)
+
+
+class TestObjects:
+    SCHEMA = {
+        "type": "object",
+        "required": ["name"],
+        "properties": {"name": {"type": "string"}, "age": {"type": "integer"}},
+        "additionalProperties": False,
+    }
+
+    def test_required_missing(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate({}, self.SCHEMA)
+        assert "name" in str(excinfo.value)
+
+    def test_additional_properties_false(self):
+        with pytest.raises(ValidationError):
+            validate({"name": "x", "extra": 1}, self.SCHEMA)
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object", "additionalProperties": {"type": "integer"}}
+        validate({"a": 1, "b": 2}, schema)
+        with pytest.raises(ValidationError):
+            validate({"a": "nope"}, schema)
+
+    def test_nested_error_path(self):
+        schema = {
+            "type": "object",
+            "properties": {"inner": {"type": "object", "required": ["x"]}},
+        }
+        with pytest.raises(ValidationError) as excinfo:
+            validate({"inner": {}}, schema)
+        assert excinfo.value.path == "/inner"
+
+
+class TestArrays:
+    def test_items_validated_with_index_path(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        validate([1, 2, 3], schema)
+        with pytest.raises(ValidationError) as excinfo:
+            validate([1, "x"], schema)
+        assert excinfo.value.path == "/1"
+
+    def test_min_max_items(self):
+        schema = {"type": "array", "minItems": 1, "maxItems": 2}
+        validate([1], schema)
+        with pytest.raises(ValidationError):
+            validate([], schema)
+        with pytest.raises(ValidationError):
+            validate([1, 2, 3], schema)
+
+
+class TestOneOf:
+    SCHEMA = {"oneOf": [{"type": "string"}, {"type": "object"}]}
+
+    def test_single_match(self):
+        validate("x", self.SCHEMA)
+        validate({}, self.SCHEMA)
+
+    def test_no_match(self):
+        with pytest.raises(ValidationError):
+            validate(3, self.SCHEMA)
+
+    def test_double_match_rejected(self):
+        schema = {"oneOf": [{"type": "number"}, {"minimum": 0}]}
+        with pytest.raises(ValidationError):
+            validate(3, schema)
+
+
+class TestSchemaWrapper:
+    def test_is_valid(self):
+        schema = Schema({"type": "string"}, title="s")
+        assert schema.is_valid("x")
+        assert not schema.is_valid(3)
+
+    def test_errors_list(self):
+        schema = Schema({"type": "string"})
+        assert schema.errors("x") == []
+        assert len(schema.errors(3)) == 1
+
+    def test_non_dict_definition_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("not a schema")
+
+
+class TestLanguageSchemas:
+    def test_figure2_shape_validates(self):
+        RESOURCE_POLICY_SCHEMA.validate(
+            {
+                "resources": [
+                    {
+                        "info": {"name": "Location tracking in DBH"},
+                        "context": {
+                            "location": {
+                                "spatial": {"name": "Donald Bren Hall", "type": "Building"},
+                                "location_owner": {
+                                    "name": "UCI",
+                                    "human_description": {"more_info": "https://uci.edu"},
+                                },
+                            }
+                        },
+                        "sensor": {
+                            "type": "WiFi Access Point",
+                            "description": "Installed inside the building",
+                        },
+                        "purpose": {
+                            "emergency response": {
+                                "description": "Location is stored continuously"
+                            }
+                        },
+                        "observations": [
+                            {
+                                "name": "MAC address of the device",
+                                "description": "If your device is connected...",
+                            }
+                        ],
+                        "retention": {"duration": "P6M"},
+                    }
+                ]
+            }
+        )
+
+    def test_resources_must_be_non_empty(self):
+        assert not RESOURCE_POLICY_SCHEMA.is_valid({"resources": []})
+
+    def test_figure3_shape_validates(self):
+        SERVICE_POLICY_SCHEMA.validate(
+            {
+                "observations": [
+                    {"name": "wifi_access_point", "description": "..."},
+                    {"name": "bluetooth_beacon", "description": "..."},
+                ],
+                "purpose": {
+                    "providing_service": {"description": "directions"},
+                    "service_id": "Concierge",
+                },
+            }
+        )
+
+    def test_service_id_required(self):
+        assert not SERVICE_POLICY_SCHEMA.is_valid(
+            {
+                "observations": [{"name": "x"}],
+                "purpose": {"providing_service": {"description": "d"}},
+            }
+        )
+
+    def test_figure4_shape_validates(self):
+        SETTINGS_SCHEMA.validate(
+            {
+                "settings": [
+                    {
+                        "select": [
+                            {"description": "fine grained location sensing", "on": "wifi=opt-in"},
+                            {"description": "coarse grained location sensing", "on": "wifi=opt-in"},
+                            {"description": "No location sensing", "on": "wifi=opt-out"},
+                        ]
+                    }
+                ]
+            }
+        )
+
+    def test_settings_option_needs_on(self):
+        assert not SETTINGS_SCHEMA.is_valid(
+            {"settings": [{"select": [{"description": "x"}]}]}
+        )
+
+    def test_retention_pattern_rejects_garbage(self):
+        doc = {
+            "resources": [
+                {
+                    "info": {"name": "n"},
+                    "context": {"location": {"spatial": {"name": "B", "type": "Building"}}},
+                    "sensor": {"type": "t"},
+                    "purpose": {"security": {"description": "d"}},
+                    "observations": [{"name": "o"}],
+                    "retention": {"duration": "six months"},
+                }
+            ]
+        }
+        assert not RESOURCE_POLICY_SCHEMA.is_valid(doc)

@@ -1,0 +1,54 @@
+"""Unit tests for the multi-day scenario runner."""
+
+import pytest
+
+from repro.core.reasoner.resolution import ResolutionStrategy
+from repro.simulation.longrun import WeekReport, run_week
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_week(days=2, population=12, ticks_per_day=8, seed=9)
+
+
+class TestRunWeek:
+    def test_observations_flow(self, result):
+        assert result.observations_sampled > 0
+        assert 0 < result.observations_stored < result.observations_sampled
+
+    def test_services_ran(self, result):
+        assert result.queries_total > 0
+        assert result.deliveries_attempted > 0
+
+    def test_settings_configured_for_everyone(self, result):
+        assert sum(result.selections.values()) == result.population
+
+    def test_audit_consistent(self, result):
+        assert result.audit_summary["total"] >= result.queries_total
+
+    def test_denial_rate_bounds(self, result):
+        assert 0.0 <= result.denial_rate <= 1.0
+
+    def test_deterministic_for_seed(self):
+        a = run_week(days=1, population=8, ticks_per_day=6, seed=3)
+        b = run_week(days=1, population=8, ticks_per_day=6, seed=3)
+        assert a.observations_stored == b.observations_stored
+        assert a.selections == b.selections
+        assert a.queries_denied == b.queries_denied
+
+    def test_building_wins_denies_nothing(self):
+        result = run_week(
+            days=1,
+            population=10,
+            ticks_per_day=6,
+            seed=4,
+            strategy=ResolutionStrategy.BUILDING_WINS,
+        )
+        assert result.queries_denied == 0
+
+    def test_cache_does_not_change_outcomes(self):
+        cached = run_week(days=1, population=8, ticks_per_day=6, seed=5, cache_decisions=True)
+        plain = run_week(days=1, population=8, ticks_per_day=6, seed=5, cache_decisions=False)
+        assert cached.observations_stored == plain.observations_stored
+        assert cached.queries_denied == plain.queries_denied
+        assert cached.selections == plain.selections

@@ -1,0 +1,130 @@
+"""Unit tests for the message bus and codec."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.bus import Endpoint, MessageBus, RpcError
+from repro.net.codec import decode_message, encode_message
+
+
+class Echo(Endpoint):
+    def handle(self, method, payload):
+        if method == "echo":
+            return {"echoed": payload}
+        if method == "boom":
+            raise NetworkError("kaboom")
+        return super().handle(method, payload)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        message = {"a": 1, "b": [1, 2], "c": {"d": None}}
+        assert decode_message(encode_message(message)) == message
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(NetworkError):
+            encode_message({"x": object()})
+
+    def test_nan_rejected(self):
+        with pytest.raises(NetworkError):
+            encode_message({"x": float("nan")})
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(NetworkError):
+            decode_message("{oops")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(NetworkError):
+            decode_message("[1,2]")
+
+
+class TestBus:
+    def test_call_round_trip(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        assert bus.call("echo", "echo", {"x": 1}) == {"echoed": {"x": 1}}
+
+    def test_unknown_target(self):
+        with pytest.raises(NetworkError):
+            MessageBus().call("ghost", "m")
+
+    def test_remote_error_becomes_rpc_error(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        with pytest.raises(RpcError) as excinfo:
+            bus.call("echo", "boom")
+        assert "kaboom" in str(excinfo.value)
+
+    def test_unhandled_method(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        with pytest.raises(RpcError):
+            bus.call("echo", "unknown-method")
+
+    def test_payload_must_be_wire_safe(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        with pytest.raises(NetworkError):
+            bus.call("echo", "echo", {"bad": object()})
+
+    def test_duplicate_registration_rejected(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        with pytest.raises(NetworkError):
+            bus.register("echo", Echo())
+
+    def test_register_handler_function(self):
+        bus = MessageBus()
+        bus.register_handler("fn", lambda method, payload: {"m": method})
+        assert bus.call("fn", "hello") == {"m": "hello"}
+
+    def test_unregister(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        bus.unregister("echo")
+        assert "echo" not in bus
+
+
+class TestLossAndLatency:
+    def test_drop_rate_raises(self):
+        bus = MessageBus(drop_rate=0.999999, rng=random.Random(0))
+        bus.register("echo", Echo())
+        with pytest.raises(NetworkError):
+            bus.call("echo", "echo", {})
+        assert bus.stats.dropped >= 1
+
+    def test_retries_recover_from_loss(self):
+        bus = MessageBus(drop_rate=0.5, rng=random.Random(3))
+        bus.register("echo", Echo())
+        # With enough retries one attempt gets through.
+        result = bus.call("echo", "echo", {"x": 1}, retries=50)
+        assert result == {"echoed": {"x": 1}}
+
+    def test_rpc_errors_not_retried(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        with pytest.raises(RpcError):
+            bus.call("echo", "boom", retries=5)
+        assert bus.stats.calls == 1, "application errors must not be retried"
+
+    def test_latency_accumulated(self):
+        bus = MessageBus(latency_s=0.05)
+        bus.register("echo", Echo())
+        bus.call("echo", "echo", {})
+        bus.call("echo", "echo", {})
+        assert bus.stats.simulated_latency_s == pytest.approx(0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NetworkError):
+            MessageBus(drop_rate=1.0)
+        with pytest.raises(NetworkError):
+            MessageBus(latency_s=-1)
+
+    def test_byte_counters_advance(self):
+        bus = MessageBus()
+        bus.register("echo", Echo())
+        bus.call("echo", "echo", {"x": "hello"})
+        assert bus.stats.bytes_sent > 0
+        assert bus.stats.bytes_received > 0

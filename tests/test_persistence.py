@@ -1,0 +1,123 @@
+"""Unit tests for snapshot persistence."""
+
+import pytest
+
+from repro.core.enforcement.audit import AuditLog, AuditRecord
+from repro.core.language.vocabulary import GranularityLevel
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.errors import StorageError
+from repro.sensors.base import Observation
+from repro.tippers.datastore import Datastore
+from repro.tippers.persistence import (
+    load_audit,
+    load_datastore,
+    save_audit,
+    save_datastore,
+)
+
+
+def obs(timestamp, sensor_type="wifi_access_point", subject=None, granularity="precise"):
+    return Observation.create(
+        sensor_id="s1",
+        sensor_type=sensor_type,
+        timestamp=timestamp,
+        space_id="r1",
+        payload={"device_mac": "aa:bb", "rssi": -40.0, "nested": {"k": [1, 2]}},
+        subject_id=subject,
+    ).with_payload({"device_mac": "aa:bb", "rssi": -40.0, "nested": {"k": [1, 2]}}, granularity)
+
+
+@pytest.fixture
+def store():
+    ds = Datastore()
+    ds.insert(obs(1.0, subject="mary"))
+    ds.insert(obs(2.0, sensor_type="motion_sensor"))
+    ds.insert(obs(3.0, subject="bob", granularity="coarse"))
+    return ds
+
+
+class TestDatastoreSnapshots:
+    def test_round_trip_exact(self, store, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        count = save_datastore(store, path)
+        assert count == 3
+        restored = load_datastore(path)
+        assert restored.count() == store.count()
+        for sensor_type in store.stream_names():
+            original = store.query(sensor_type=sensor_type)
+            loaded = restored.query(sensor_type=sensor_type)
+            assert [o.to_dict() for o in original] == [o.to_dict() for o in loaded]
+
+    def test_subject_index_rebuilt(self, store, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        save_datastore(store, path)
+        restored = load_datastore(path)
+        assert len(restored.query(subject_id="mary")) == 1
+        assert len(restored.query(subject_id="bob")) == 1
+
+    def test_load_into_existing(self, store, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        save_datastore(store, path)
+        target = Datastore()
+        target.insert(obs(99.0))
+        load_datastore(path, into=target)
+        assert target.count() == 4
+
+    def test_empty_snapshot(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        save_datastore(Datastore(), path)
+        assert load_datastore(path).count() == 0
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"observation_id": 1}\n')
+        with pytest.raises(StorageError) as excinfo:
+            load_datastore(path)
+        assert "line 1" in str(excinfo.value)
+
+    def test_no_tmp_file_left_behind(self, store, tmp_path):
+        path = str(tmp_path / "snap.jsonl")
+        save_datastore(store, path)
+        assert not (tmp_path / "snap.jsonl.tmp").exists()
+
+
+class TestAuditSnapshots:
+    def make_log(self):
+        log = AuditLog()
+        for index in range(3):
+            log.append(
+                AuditRecord(
+                    timestamp=float(index),
+                    requester_id="svc",
+                    phase=DecisionPhase.SHARING,
+                    category="location",
+                    subject_id="mary" if index % 2 == 0 else None,
+                    space_id="r1",
+                    effect=Effect.ALLOW if index else Effect.DENY,
+                    granularity=GranularityLevel.COARSE,
+                    reasons=("r%d" % index,),
+                    notify_user=index == 2,
+                )
+            )
+        return log
+
+    def test_round_trip_exact(self, tmp_path):
+        log = self.make_log()
+        path = str(tmp_path / "audit.jsonl")
+        assert save_audit(log, path) == 3
+        restored = load_audit(path)
+        assert list(restored) == list(log)
+
+    def test_summary_survives(self, tmp_path):
+        log = self.make_log()
+        path = str(tmp_path / "audit.jsonl")
+        save_audit(log, path)
+        assert load_audit(path).summary() == log.summary()
+
+    def test_malformed_audit_line(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json\n")
+        with pytest.raises(StorageError):
+            load_audit(path)

@@ -1,0 +1,146 @@
+"""Unit tests for the paper's Policies 1-4 and Preferences 1-4."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy import catalog
+from repro.core.policy.base import DataRequest, DecisionPhase, Effect, RequesterKind
+from repro.core.policy.conditions import EvaluationContext
+from repro.spatial.model import build_simple_building
+
+
+@pytest.fixture
+def context():
+    return EvaluationContext(spatial=build_simple_building("b", 2, 4))
+
+
+class TestPolicy1:
+    def test_actuation_pipeline_declared(self):
+        policy = catalog.policy_1_comfort(["b-1001"], setpoint_f=70.0)
+        assert policy.actuations[0].sensor_type == "hvac_unit"
+        assert policy.actuations[0].settings["setpoint_f"] == 70.0
+        assert policy.actuations[0].trigger == "occupied"
+
+    def test_covers_motion_and_temperature(self, context):
+        policy = catalog.policy_1_comfort(["b-1001"])
+        req = DataRequest(
+            requester_id="building",
+            requester_kind=RequesterKind.BUILDING,
+            phase=DecisionPhase.CAPTURE,
+            category=DataCategory.OCCUPANCY,
+            subject_id=None,
+            space_id="b-1001",
+            timestamp=0.0,
+            purpose=Purpose.COMFORT,
+            sensor_type="motion_sensor",
+        )
+        assert policy.applies_to(req, context)
+
+
+class TestPolicy2:
+    def test_is_mandatory_with_p6m_retention(self):
+        policy = catalog.policy_2_emergency_location("b")
+        assert policy.mandatory
+        assert policy.retention.isoformat() == "P6M"
+        assert Purpose.EMERGENCY_RESPONSE in policy.purposes
+
+    def test_covers_wifi_capture(self, context):
+        policy = catalog.policy_2_emergency_location("b")
+        req = DataRequest(
+            requester_id="building",
+            requester_kind=RequesterKind.BUILDING,
+            phase=DecisionPhase.CAPTURE,
+            category=DataCategory.LOCATION,
+            subject_id="mary",
+            space_id="b-1001",
+            timestamp=0.0,
+            purpose=Purpose.EMERGENCY_RESPONSE,
+            sensor_type="wifi_access_point",
+        )
+        assert policy.applies_to(req, context)
+
+
+class TestPolicy3:
+    def test_reader_mode_actuation(self):
+        policy = catalog.policy_3_meeting_room_access(["b-1004"])
+        assert policy.actuations[0].settings == {"mode": "card_or_fingerprint"}
+        assert DataCategory.IDENTITY in policy.categories
+
+
+class TestPolicy4:
+    def test_sharing_phase_only(self):
+        policy = catalog.policy_4_event_disclosure("b-1004")
+        assert policy.phases == (DecisionPhase.SHARING,)
+        assert DataCategory.MEETING_DETAILS in policy.categories
+
+
+class TestServiceSharingPolicy:
+    def test_not_mandatory(self):
+        policy = catalog.policy_service_sharing("b")
+        assert not policy.mandatory
+        assert DecisionPhase.SHARING in policy.phases
+
+
+class TestPreference1:
+    def test_after_hours_only(self, context):
+        pref = catalog.preference_1_office_after_hours("mary", "b-1001")
+
+        def req(hour):
+            return DataRequest(
+                requester_id="svc",
+                requester_kind=RequesterKind.BUILDING_SERVICE,
+                phase=DecisionPhase.SHARING,
+                category=DataCategory.OCCUPANCY,
+                subject_id="mary",
+                space_id="b-1001",
+                timestamp=hour * 3600.0,
+                purpose=Purpose.PROVIDING_SERVICE,
+            )
+
+        assert pref.applies_to(req(20), context)
+        assert pref.applies_to(req(6), context)
+        assert not pref.applies_to(req(12), context)
+
+    def test_scoped_to_office(self, context):
+        pref = catalog.preference_1_office_after_hours("mary", "b-1001")
+        req = DataRequest(
+            requester_id="svc",
+            requester_kind=RequesterKind.BUILDING_SERVICE,
+            phase=DecisionPhase.SHARING,
+            category=DataCategory.OCCUPANCY,
+            subject_id="mary",
+            space_id="b-1002",
+            timestamp=20 * 3600.0,
+            purpose=Purpose.PROVIDING_SERVICE,
+        )
+        assert not pref.applies_to(req, context)
+
+
+class TestPreference2:
+    def test_denies_all_phases(self):
+        pref = catalog.preference_2_no_location("mary")
+        assert pref.effect is Effect.DENY
+        assert set(pref.phases) == set(DecisionPhase)
+
+    def test_conflicts_with_policy2(self, context):
+        from repro.core.reasoner.conflicts import ConflictKind, detect_conflicts
+
+        conflicts = detect_conflicts(
+            [catalog.policy_2_emergency_location("b")],
+            [catalog.preference_2_no_location("mary")],
+            context,
+        )
+        assert len(conflicts) == 1
+        assert conflicts[0].kind is ConflictKind.HARD
+
+
+class TestPreferences3And4:
+    def test_concierge_grant(self):
+        permission = catalog.preference_3_concierge_location("mary")
+        assert permission.granted
+        assert permission.granularity is GranularityLevel.PRECISE
+        assert permission.service_id == "concierge"
+
+    def test_meeting_grant(self):
+        permission = catalog.preference_4_meeting_details("mary")
+        assert permission.category is DataCategory.MEETING_DETAILS

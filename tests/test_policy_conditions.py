@@ -1,0 +1,205 @@
+"""Unit tests for the condition language."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.base import DataRequest, DecisionPhase, RequesterKind
+from repro.core.policy.conditions import (
+    AllOf,
+    Always,
+    AnyOf,
+    CategoryCondition,
+    EvaluationContext,
+    GranularityCondition,
+    Not,
+    ProfileCondition,
+    PurposeCondition,
+    RequesterCondition,
+    SensorTypeCondition,
+    SpatialCondition,
+    SubjectCondition,
+    TemporalCondition,
+)
+from repro.errors import PolicyError
+from repro.spatial.model import build_simple_building
+
+
+def request(**overrides) -> DataRequest:
+    defaults = dict(
+        requester_id="svc",
+        requester_kind=RequesterKind.BUILDING_SERVICE,
+        phase=DecisionPhase.SHARING,
+        category=DataCategory.LOCATION,
+        subject_id="mary",
+        space_id="b-1001",
+        timestamp=12 * 3600.0,
+        purpose=Purpose.PROVIDING_SERVICE,
+    )
+    defaults.update(overrides)
+    return DataRequest(**defaults)
+
+
+@pytest.fixture
+def context():
+    return EvaluationContext(
+        spatial=build_simple_building("b", floors=2, rooms_per_floor=4),
+        user_profiles={"mary": frozenset({"faculty"}), "bob": frozenset({"grad-student"})},
+    )
+
+
+class TestSpatialCondition:
+    def test_exact_match(self, context):
+        assert SpatialCondition("b-1001").matches(request(), context)
+
+    def test_hierarchical_containment(self, context):
+        assert SpatialCondition("b").matches(request(), context)
+        assert SpatialCondition("b-f1").matches(request(), context)
+        assert not SpatialCondition("b-f2").matches(request(), context)
+
+    def test_unlocated_request(self, context):
+        assert not SpatialCondition("b").matches(request(space_id=None), context)
+        assert SpatialCondition("b", match_unlocated=True).matches(
+            request(space_id=None), context
+        )
+
+    def test_without_model_falls_back_to_id_equality(self):
+        bare = EvaluationContext()
+        assert SpatialCondition("x").matches(request(space_id="x"), bare)
+        assert not SpatialCondition("x").matches(request(space_id="y"), bare)
+
+    def test_unknown_condition_space_with_model(self, context):
+        assert not SpatialCondition("nowhere").matches(request(), context)
+
+
+class TestTemporalCondition:
+    def test_simple_window(self, context):
+        cond = TemporalCondition(start_hour=9, end_hour=17)
+        assert cond.matches(request(timestamp=12 * 3600.0), context)
+        assert not cond.matches(request(timestamp=18 * 3600.0), context)
+
+    def test_window_boundaries_half_open(self, context):
+        cond = TemporalCondition(start_hour=9, end_hour=17)
+        assert cond.matches(request(timestamp=9 * 3600.0), context)
+        assert not cond.matches(request(timestamp=17 * 3600.0), context)
+
+    def test_wrapping_after_hours_window(self, context):
+        cond = TemporalCondition(start_hour=18, end_hour=8)
+        assert cond.matches(request(timestamp=22 * 3600.0), context)
+        assert cond.matches(request(timestamp=3 * 3600.0), context)
+        assert not cond.matches(request(timestamp=12 * 3600.0), context)
+
+    def test_second_day_same_window(self, context):
+        cond = TemporalCondition(start_hour=9, end_hour=17)
+        assert cond.matches(request(timestamp=86400.0 + 10 * 3600.0), context)
+
+    def test_weekdays_only(self, context):
+        cond = TemporalCondition(start_hour=0, end_hour=24, weekdays_only=True)
+        monday_noon = 12 * 3600.0
+        saturday_noon = 5 * 86400.0 + 12 * 3600.0
+        assert cond.matches(request(timestamp=monday_noon), context)
+        assert not cond.matches(request(timestamp=saturday_noon), context)
+
+    def test_invalid_hours_rejected(self):
+        with pytest.raises(PolicyError):
+            TemporalCondition(start_hour=-1, end_hour=10)
+        with pytest.raises(PolicyError):
+            TemporalCondition(start_hour=1, end_hour=25)
+
+
+class TestProfileAndSubject:
+    def test_profile_group_match(self, context):
+        assert ProfileCondition("faculty").matches(request(), context)
+        assert not ProfileCondition("staff").matches(request(), context)
+
+    def test_profile_requires_subject(self, context):
+        assert not ProfileCondition("faculty").matches(request(subject_id=None), context)
+
+    def test_subject_condition(self, context):
+        assert SubjectCondition("mary").matches(request(), context)
+        assert not SubjectCondition("bob").matches(request(), context)
+
+
+class TestSelectorConditions:
+    def test_purpose(self, context):
+        cond = PurposeCondition((Purpose.PROVIDING_SERVICE,))
+        assert cond.matches(request(), context)
+        assert not cond.matches(request(purpose=Purpose.SECURITY), context)
+
+    def test_purpose_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            PurposeCondition(())
+
+    def test_requester_by_id_and_kind(self, context):
+        by_id = RequesterCondition(requester_ids=("svc",))
+        by_kind = RequesterCondition(kinds=(RequesterKind.BUILDING_SERVICE,))
+        assert by_id.matches(request(), context)
+        assert by_kind.matches(request(), context)
+        assert not by_id.matches(request(requester_id="other"), context)
+
+    def test_requester_needs_some_selector(self):
+        with pytest.raises(PolicyError):
+            RequesterCondition()
+
+    def test_category(self, context):
+        cond = CategoryCondition((DataCategory.LOCATION, DataCategory.PRESENCE))
+        assert cond.matches(request(), context)
+        assert not cond.matches(request(category=DataCategory.ENERGY_USE), context)
+
+    def test_granularity_finer_than(self, context):
+        cond = GranularityCondition(finer_than=GranularityLevel.COARSE)
+        assert cond.matches(request(granularity=GranularityLevel.PRECISE), context)
+        assert not cond.matches(request(granularity=GranularityLevel.COARSE), context)
+
+    def test_sensor_type(self, context):
+        cond = SensorTypeCondition(("wifi_access_point",))
+        assert cond.matches(request(sensor_type="wifi_access_point"), context)
+        assert not cond.matches(request(sensor_type="camera"), context)
+        assert not cond.matches(request(), context)
+
+
+class TestCombinators:
+    def test_all_of(self, context):
+        cond = AllOf((ProfileCondition("faculty"), SpatialCondition("b")))
+        assert cond.matches(request(), context)
+        assert not AllOf((ProfileCondition("staff"), SpatialCondition("b"))).matches(
+            request(), context
+        )
+
+    def test_empty_all_of_matches(self, context):
+        assert AllOf(()).matches(request(), context)
+
+    def test_any_of(self, context):
+        cond = AnyOf((ProfileCondition("staff"), ProfileCondition("faculty")))
+        assert cond.matches(request(), context)
+
+    def test_empty_any_of_matches_nothing(self, context):
+        assert not AnyOf(()).matches(request(), context)
+
+    def test_not(self, context):
+        assert Not(ProfileCondition("staff")).matches(request(), context)
+
+    def test_operator_sugar(self, context):
+        cond = ProfileCondition("faculty") & SpatialCondition("b")
+        assert cond.matches(request(), context)
+        cond = ProfileCondition("staff") | ProfileCondition("faculty")
+        assert cond.matches(request(), context)
+        assert (~ProfileCondition("staff")).matches(request(), context)
+
+    def test_always(self, context):
+        assert Always().matches(request(), context)
+
+
+class TestEvaluationContext:
+    def test_hour_of(self):
+        context = EvaluationContext()
+        assert context.hour_of(0.0) == 0.0
+        assert context.hour_of(6 * 3600.0) == 6.0
+        assert context.hour_of(86400.0 + 3600.0) == 1.0
+
+    def test_day_index(self):
+        context = EvaluationContext()
+        assert context.day_index_of(10.0) == 0
+        assert context.day_index_of(86400.0 * 3 + 5) == 3
+
+    def test_groups_of_unknown_user_empty(self):
+        assert EvaluationContext().groups_of("ghost") == frozenset()

@@ -1,0 +1,154 @@
+"""Unit tests for user preferences and service permissions."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.base import DataRequest, DecisionPhase, Effect, RequesterKind
+from repro.core.policy.conditions import EvaluationContext, TemporalCondition
+from repro.core.policy.preference import ServicePermission, UserPreference
+from repro.errors import PolicyError
+from repro.spatial.model import build_simple_building
+
+
+def request(**overrides) -> DataRequest:
+    defaults = dict(
+        requester_id="concierge",
+        requester_kind=RequesterKind.BUILDING_SERVICE,
+        phase=DecisionPhase.SHARING,
+        category=DataCategory.LOCATION,
+        subject_id="mary",
+        space_id="b-1001",
+        timestamp=100.0,
+        purpose=Purpose.PROVIDING_SERVICE,
+    )
+    defaults.update(overrides)
+    return DataRequest(**defaults)
+
+
+@pytest.fixture
+def context():
+    return EvaluationContext(spatial=build_simple_building("b", 2, 4))
+
+
+def preference(**overrides) -> UserPreference:
+    defaults = dict(
+        preference_id="pref-1",
+        user_id="mary",
+        description="d",
+        effect=Effect.DENY,
+        categories=(DataCategory.LOCATION,),
+    )
+    defaults.update(overrides)
+    return UserPreference(**defaults)
+
+
+class TestValidation:
+    def test_empty_ids_rejected(self):
+        with pytest.raises(PolicyError):
+            preference(preference_id="")
+        with pytest.raises(PolicyError):
+            preference(user_id="")
+
+    def test_strength_bounds(self):
+        with pytest.raises(PolicyError):
+            preference(strength=1.5)
+        preference(strength=0.0)
+
+    def test_no_phases_rejected(self):
+        with pytest.raises(PolicyError):
+            preference(phases=())
+
+
+class TestAppliesTo:
+    def test_only_own_subject(self, context):
+        assert preference().applies_to(request(), context)
+        assert not preference().applies_to(request(subject_id="bob"), context)
+        assert not preference().applies_to(request(subject_id=None), context)
+
+    def test_phase_selector(self, context):
+        p = preference(phases=(DecisionPhase.SHARING,))
+        assert not p.applies_to(request(phase=DecisionPhase.CAPTURE), context)
+
+    def test_requester_id_selector(self, context):
+        p = preference(requester_ids=("concierge",))
+        assert p.applies_to(request(), context)
+        assert not p.applies_to(request(requester_id="other"), context)
+
+    def test_requester_kind_selector(self, context):
+        p = preference(requester_kinds=(RequesterKind.THIRD_PARTY_SERVICE,))
+        assert not p.applies_to(request(), context)
+        assert p.applies_to(
+            request(requester_kind=RequesterKind.THIRD_PARTY_SERVICE), context
+        )
+
+    def test_spatial_selector_with_containment(self, context):
+        p = preference(space_ids=("b-f1",))
+        assert p.applies_to(request(space_id="b-1001"), context)
+        assert not p.applies_to(request(space_id="b-2001"), context)
+
+    def test_temporal_condition(self, context):
+        after_hours = preference(
+            condition=TemporalCondition(start_hour=18, end_hour=8)
+        )
+        assert after_hours.applies_to(request(timestamp=20 * 3600.0), context)
+        assert not after_hours.applies_to(request(timestamp=12 * 3600.0), context)
+
+
+class TestSemantics:
+    def test_is_opt_out(self):
+        assert preference(effect=Effect.DENY).is_opt_out
+        assert preference(
+            effect=Effect.ALLOW, granularity_cap=GranularityLevel.NONE
+        ).is_opt_out
+        assert not preference(
+            effect=Effect.ALLOW, granularity_cap=GranularityLevel.COARSE
+        ).is_opt_out
+
+    def test_permitted_granularity(self):
+        assert preference(effect=Effect.DENY).permitted_granularity() is GranularityLevel.NONE
+        capped = preference(effect=Effect.ALLOW, granularity_cap=GranularityLevel.COARSE)
+        assert capped.permitted_granularity() is GranularityLevel.COARSE
+
+
+class TestServicePermission:
+    def test_grant_to_preference(self, context):
+        permission = ServicePermission(
+            user_id="mary",
+            service_id="concierge",
+            category=DataCategory.LOCATION,
+            granularity=GranularityLevel.PRECISE,
+        )
+        p = permission.to_preference()
+        assert p.effect is Effect.ALLOW
+        assert p.applies_to(request(), context)
+        assert not p.applies_to(request(requester_id="other-service"), context)
+
+    def test_denial_to_preference(self):
+        permission = ServicePermission(
+            user_id="mary",
+            service_id="food",
+            category=DataCategory.LOCATION,
+            granularity=GranularityLevel.PRECISE,
+            granted=False,
+        )
+        p = permission.to_preference()
+        assert p.effect is Effect.DENY
+        assert p.granularity_cap is GranularityLevel.NONE
+
+    def test_preference_id_stable(self):
+        permission = ServicePermission(
+            user_id="mary",
+            service_id="concierge",
+            category=DataCategory.LOCATION,
+            granularity=GranularityLevel.PRECISE,
+        )
+        assert permission.to_preference().preference_id == permission.to_preference().preference_id
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(PolicyError):
+            ServicePermission(
+                user_id="",
+                service_id="s",
+                category=DataCategory.LOCATION,
+                granularity=GranularityLevel.PRECISE,
+            )

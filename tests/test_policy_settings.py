@@ -1,0 +1,133 @@
+"""Unit tests for settings spaces."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.core.policy.settings import (
+    SettingChoice,
+    SettingGroup,
+    SettingsSpace,
+    location_settings_space,
+)
+from repro.errors import PolicyError
+
+
+def choice(key, granularity, category=DataCategory.LOCATION):
+    return SettingChoice(
+        key=key,
+        description=key,
+        category=category,
+        granularity=granularity,
+        actuation="x=%s" % key,
+    )
+
+
+@pytest.fixture
+def group():
+    return SettingGroup(
+        group_id="location",
+        category=DataCategory.LOCATION,
+        choices=(
+            choice("fine", GranularityLevel.PRECISE),
+            choice("coarse", GranularityLevel.COARSE),
+            choice("off", GranularityLevel.NONE),
+        ),
+        default_key="coarse",
+    )
+
+
+class TestSettingGroup:
+    def test_default(self, group):
+        assert group.default.key == "coarse"
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(PolicyError):
+            SettingGroup(
+                group_id="g",
+                category=DataCategory.LOCATION,
+                choices=(choice("a", GranularityLevel.PRECISE),),
+                default_key="z",
+            )
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(PolicyError):
+            SettingGroup(
+                group_id="g",
+                category=DataCategory.LOCATION,
+                choices=(),
+                default_key="a",
+            )
+
+    def test_strictest_and_most_permissive(self, group):
+        assert group.strictest().key == "off"
+        assert group.most_permissive().key == "fine"
+
+    def test_best_at_most(self, group):
+        assert group.best_at_most(GranularityLevel.PRECISE).key == "fine"
+        assert group.best_at_most(GranularityLevel.COARSE).key == "coarse"
+        assert group.best_at_most(GranularityLevel.BUILDING).key == "off"
+
+    def test_best_at_most_falls_back_to_strictest(self):
+        fine_only = SettingGroup(
+            group_id="g",
+            category=DataCategory.LOCATION,
+            choices=(choice("fine", GranularityLevel.PRECISE),
+                     choice("coarse", GranularityLevel.COARSE)),
+            default_key="fine",
+        )
+        assert fine_only.best_at_most(GranularityLevel.NONE).key == "coarse"
+
+
+class TestSettingsSpace:
+    def test_duplicate_group_rejected(self, group):
+        with pytest.raises(PolicyError):
+            SettingsSpace([group, group])
+
+    def test_default_selection(self, group):
+        space = SettingsSpace([group])
+        assert space.default_selection() == {"location": "coarse"}
+
+    def test_validate_selection(self, group):
+        space = SettingsSpace([group])
+        space.validate_selection({"location": "off"})
+        with pytest.raises(PolicyError):
+            space.validate_selection({"location": "nope"})
+        with pytest.raises(PolicyError):
+            space.validate_selection({"ghost": "off"})
+
+    def test_document_round_trip(self):
+        space = location_settings_space()
+        document = space.to_document()
+        restored = SettingsSpace.from_document(document)
+        assert restored.group_ids() == space.group_ids()
+        assert {c.key for c in restored.group("location").choices} == {
+            "fine",
+            "coarse",
+            "off",
+        }
+
+    def test_selection_to_preferences_deny_for_none(self, group):
+        space = SettingsSpace([group])
+        prefs = space.selection_to_preferences("mary", {"location": "off"})
+        assert len(prefs) == 1
+        assert prefs[0].effect is Effect.DENY
+        assert prefs[0].user_id == "mary"
+        assert DecisionPhase.CAPTURE in prefs[0].phases
+
+    def test_selection_to_preferences_caps_for_coarse(self, group):
+        space = SettingsSpace([group])
+        prefs = space.selection_to_preferences("mary", {"location": "coarse"})
+        assert prefs[0].effect is Effect.ALLOW
+        assert prefs[0].granularity_cap is GranularityLevel.COARSE
+
+    def test_location_settings_space_matches_figure4(self):
+        space = location_settings_space()
+        data = space.to_document().to_dict()
+        descriptions = [opt["description"] for opt in data["settings"][0]["select"]]
+        assert descriptions == [
+            "fine grained location sensing",
+            "coarse grained location sensing",
+            "No location sensing",
+        ]
+        assert data["settings"][0]["select"][2]["on"] == "wifi=opt-out"

@@ -1,0 +1,176 @@
+"""Unit tests for the policy-set linter (Section V-A)."""
+
+import pytest
+
+from repro.core.language.duration import Duration
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy import catalog
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.core.policy.building import BuildingPolicy
+from repro.core.reasoner.analysis import (
+    Finding,
+    Severity,
+    analyze_policies,
+    errors_only,
+)
+
+
+def policy(pid, **overrides):
+    defaults = dict(
+        policy_id=pid,
+        name=pid,
+        description="d",
+        effect=Effect.ALLOW,
+        categories=(DataCategory.LOCATION,),
+        sensor_types=("wifi_access_point",),
+        phases=(DecisionPhase.CAPTURE, DecisionPhase.STORAGE),
+        purposes=(Purpose.SECURITY,),
+        retention=Duration.parse("P30D"),
+    )
+    defaults.update(overrides)
+    return BuildingPolicy(**defaults)
+
+
+def checks_of(findings):
+    return [f.check for f in findings]
+
+
+class TestShadowedPolicy:
+    def test_deny_covering_allow_flagged(self):
+        findings = analyze_policies(
+            [
+                policy("allow-wifi"),
+                policy("deny-all", effect=Effect.DENY, categories=(), sensor_types=()),
+            ]
+        )
+        assert "shadowed-policy" in checks_of(findings)
+        assert errors_only(findings)
+
+    def test_lower_priority_deny_does_not_shadow(self):
+        findings = analyze_policies(
+            [
+                policy("allow-wifi", priority=5),
+                policy("deny-all", effect=Effect.DENY, categories=(), sensor_types=(), priority=0),
+            ]
+        )
+        assert "shadowed-policy" not in checks_of(findings)
+
+    def test_partial_deny_does_not_shadow(self):
+        findings = analyze_policies(
+            [
+                policy("allow-both", categories=(DataCategory.LOCATION, DataCategory.PRESENCE)),
+                policy(
+                    "deny-presence",
+                    effect=Effect.DENY,
+                    categories=(DataCategory.PRESENCE,),
+                ),
+            ]
+        )
+        assert "shadowed-policy" not in checks_of(findings)
+
+    def test_wildcard_allow_not_covered_by_specific_deny(self):
+        findings = analyze_policies(
+            [
+                policy("allow-everything", categories=()),
+                policy("deny-location", effect=Effect.DENY),
+            ]
+        )
+        assert "shadowed-policy" not in checks_of(findings)
+
+
+class TestRetentionCheck:
+    def test_personal_data_without_retention_flagged(self):
+        findings = analyze_policies([policy("p", retention=None)])
+        assert "unbounded-retention" in checks_of(findings)
+
+    def test_non_personal_data_exempt(self):
+        findings = analyze_policies(
+            [policy("p", categories=(DataCategory.TEMPERATURE,), retention=None)]
+        )
+        assert "unbounded-retention" not in checks_of(findings)
+
+    def test_sharing_only_policy_exempt(self):
+        findings = analyze_policies(
+            [policy("p", phases=(DecisionPhase.SHARING,), retention=None)]
+        )
+        assert "unbounded-retention" not in checks_of(findings)
+
+
+class TestRedundantAndOverCollection:
+    def test_identical_scope_flagged(self):
+        findings = analyze_policies([policy("a"), policy("b")])
+        assert "redundant-policy" in checks_of(findings)
+
+    def test_different_scope_not_flagged(self):
+        findings = analyze_policies(
+            [policy("a"), policy("b", purposes=(Purpose.COMFORT,))]
+        )
+        assert "redundant-policy" not in checks_of(findings)
+
+    def test_over_collection_flagged(self):
+        findings = analyze_policies(
+            [
+                policy(
+                    "research-precise",
+                    purposes=(Purpose.RESEARCH,),
+                    granularity=GranularityLevel.PRECISE,
+                )
+            ]
+        )
+        assert "over-collection" in checks_of(findings)
+
+    def test_emergency_precise_is_fine(self):
+        findings = analyze_policies([catalog.policy_2_emergency_location("b")])
+        assert "over-collection" not in checks_of(findings)
+
+
+class TestDeploymentCrossChecks:
+    def test_unauthorized_sensor_flagged(self):
+        findings = analyze_policies(
+            [policy("p")], deployed_sensor_types={"wifi_access_point", "camera"}
+        )
+        messages = [f.message for f in findings if f.check == "unauthorized-sensor"]
+        assert any("camera" in m for m in messages)
+
+    def test_wildcard_policy_authorizes_all(self):
+        findings = analyze_policies(
+            [policy("p", sensor_types=())],
+            deployed_sensor_types={"wifi_access_point", "camera"},
+        )
+        assert "unauthorized-sensor" not in checks_of(findings)
+
+    def test_unused_policy_flagged(self):
+        findings = analyze_policies(
+            [policy("p", sensor_types=("id_card_reader",))],
+            deployed_sensor_types={"camera"},
+        )
+        assert "unused-policy" in checks_of(findings)
+
+    def test_no_deployment_info_skips_checks(self):
+        findings = analyze_policies([policy("p")])
+        assert "unauthorized-sensor" not in checks_of(findings)
+        assert "unused-policy" not in checks_of(findings)
+
+
+class TestOrderingAndFormatting:
+    def test_errors_sort_first(self):
+        findings = analyze_policies(
+            [
+                policy("allow-wifi", retention=None),
+                policy("deny-all", effect=Effect.DENY, categories=(), sensor_types=()),
+            ]
+        )
+        assert findings[0].severity is Severity.ERROR
+
+    def test_str_mentions_check(self):
+        finding = Finding(
+            check="x-check", severity=Severity.INFO, policy_ids=("p",), message="m"
+        )
+        assert "x-check" in str(finding)
+
+    def test_clean_set_produces_nothing(self):
+        findings = analyze_policies(
+            [catalog.policy_2_emergency_location("b")],
+            deployed_sensor_types={"wifi_access_point"},
+        )
+        assert findings == []

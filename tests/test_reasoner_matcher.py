@@ -1,0 +1,114 @@
+"""Unit tests for the policy matcher."""
+
+import pytest
+
+from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+from repro.core.policy.base import DataRequest, DecisionPhase, Effect, RequesterKind
+from repro.core.policy.building import BuildingPolicy
+from repro.core.policy.conditions import EvaluationContext
+from repro.core.policy.preference import UserPreference
+from repro.core.reasoner.index import LinearRuleStore
+from repro.core.reasoner.matcher import PolicyMatcher
+
+
+def request(**overrides) -> DataRequest:
+    defaults = dict(
+        requester_id="svc",
+        requester_kind=RequesterKind.BUILDING_SERVICE,
+        phase=DecisionPhase.SHARING,
+        category=DataCategory.LOCATION,
+        subject_id="mary",
+        space_id="r1",
+        timestamp=0.0,
+        purpose=Purpose.PROVIDING_SERVICE,
+    )
+    defaults.update(overrides)
+    return DataRequest(**defaults)
+
+
+def policy(pid, **overrides) -> BuildingPolicy:
+    defaults = dict(
+        policy_id=pid,
+        name=pid,
+        description="d",
+        phases=(DecisionPhase.SHARING,),
+        categories=(DataCategory.LOCATION,),
+    )
+    defaults.update(overrides)
+    return BuildingPolicy(**defaults)
+
+
+def preference(pid, user="mary", **overrides) -> UserPreference:
+    defaults = dict(
+        preference_id=pid,
+        user_id=user,
+        description="d",
+        effect=Effect.DENY,
+        categories=(DataCategory.LOCATION,),
+        phases=(DecisionPhase.SHARING,),
+    )
+    defaults.update(overrides)
+    return UserPreference(**defaults)
+
+
+@pytest.fixture
+def matcher():
+    return PolicyMatcher(LinearRuleStore(), EvaluationContext())
+
+
+class TestMatching:
+    def test_applicable_rules_found(self, matcher):
+        matcher.store.add_policy(policy("p1"))
+        matcher.store.add_preference(preference("f1"))
+        result = matcher.match(request())
+        assert [p.policy_id for p in result.policies] == ["p1"]
+        assert [p.preference_id for p in result.preferences] == ["f1"]
+
+    def test_non_applicable_filtered(self, matcher):
+        matcher.store.add_policy(policy("p1", categories=(DataCategory.ENERGY_USE,)))
+        matcher.store.add_preference(preference("f1", user="bob"))
+        result = matcher.match(request())
+        assert result.policies == []
+        assert result.preferences == []
+
+    def test_policies_ordered_by_priority_then_id(self, matcher):
+        matcher.store.add_policy(policy("p-b", priority=0))
+        matcher.store.add_policy(policy("p-a", priority=0))
+        matcher.store.add_policy(policy("p-z", priority=5))
+        result = matcher.match(request())
+        assert [p.policy_id for p in result.policies] == ["p-z", "p-a", "p-b"]
+
+    def test_preferences_sorted_by_id(self, matcher):
+        matcher.store.add_preference(preference("f-b"))
+        matcher.store.add_preference(preference("f-a"))
+        result = matcher.match(request())
+        assert [p.preference_id for p in result.preferences] == ["f-a", "f-b"]
+
+
+class TestMatchResultViews:
+    def test_partitions(self, matcher):
+        matcher.store.add_policy(policy("allow-1"))
+        matcher.store.add_policy(policy("deny-1", effect=Effect.DENY))
+        matcher.store.add_policy(policy("mand-1", mandatory=True))
+        matcher.store.add_preference(preference("deny-p"))
+        matcher.store.add_preference(
+            preference("allow-p", effect=Effect.ALLOW,
+                       granularity_cap=GranularityLevel.COARSE)
+        )
+        result = matcher.match(request())
+        assert {p.policy_id for p in result.allowing_policies} == {"allow-1", "mand-1"}
+        assert {p.policy_id for p in result.denying_policies} == {"deny-1"}
+        assert {p.policy_id for p in result.mandatory_policies} == {"mand-1"}
+        assert {p.preference_id for p in result.denying_preferences} == {"deny-p"}
+        assert {p.preference_id for p in result.allowing_preferences} == {"allow-p"}
+        assert result.has_building_authorization
+        assert result.user_objects
+
+    def test_empty_match(self, matcher):
+        result = matcher.match(request())
+        assert not result.has_building_authorization
+        assert not result.user_objects
+
+    def test_default_store_is_linear(self):
+        matcher = PolicyMatcher()
+        assert matcher.match(request()).policies == []

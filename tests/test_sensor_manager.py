@@ -1,0 +1,132 @@
+"""Unit tests for the sensor manager (capture path)."""
+
+import pytest
+
+from repro.core.enforcement.engine import EnforcementEngine
+from repro.core.policy import catalog
+from repro.core.policy.conditions import EvaluationContext
+from repro.errors import SensorError
+from repro.sensors.base import Observation
+from repro.spatial.model import build_simple_building
+from repro.tippers.datastore import Datastore
+from repro.tippers.sensor_manager import SensorManager
+from repro.users.profile import UserDirectory, UserProfile
+
+from tests.conftest import StaticWorld
+
+
+@pytest.fixture
+def setup():
+    spatial = build_simple_building("b", 2, 4)
+    engine = EnforcementEngine(context=EvaluationContext(spatial=spatial))
+    engine.store.add_policy(catalog.policy_2_emergency_location("b"))
+    directory = UserDirectory()
+    directory.add(
+        UserProfile(user_id="mary", name="Mary", device_macs=("aa:bb",))
+    )
+    datastore = Datastore()
+    manager = SensorManager(engine, datastore, directory=directory)
+    return manager, datastore, engine
+
+
+class TestDeployment:
+    def test_deploy_and_lookup(self, setup):
+        manager, _, _ = setup
+        sensor = manager.deploy("wifi_access_point", "ap-1", "b-1001")
+        assert manager.sensor("ap-1") is sensor
+        assert manager.count() == 1
+
+    def test_unknown_type_rejected(self, setup):
+        manager, _, _ = setup
+        with pytest.raises(SensorError):
+            manager.deploy("sonar", "s-1", "b-1001")
+
+    def test_subsystem_grouping(self, setup):
+        manager, _, _ = setup
+        manager.deploy("wifi_access_point", "ap-1", "b-1001")
+        manager.deploy("camera", "cam-1", "b-f1-corridor")
+        assert {s.name for s in manager.subsystems()} == {"network", "camera"}
+        assert len(manager.subsystem("network")) == 1
+
+    def test_sensors_in_space_with_type_filter(self, setup):
+        manager, _, _ = setup
+        manager.deploy("wifi_access_point", "ap-1", "b-1001")
+        manager.deploy("motion_sensor", "m-1", "b-1001")
+        assert len(manager.sensors_in_space("b-1001")) == 2
+        assert [s.sensor_id for s in manager.sensors_in_space("b-1001", "motion_sensor")] == ["m-1"]
+
+    def test_unknown_sensor_lookup(self, setup):
+        manager, _, _ = setup
+        with pytest.raises(SensorError):
+            manager.sensor("ghost")
+
+
+class TestAttribution:
+    def test_wifi_mac_resolved_to_owner(self, setup):
+        manager, datastore, _ = setup
+        manager.deploy("wifi_access_point", "ap-1", "b-1001")
+        world = StaticWorld()
+        world.put("mary", "aa:bb", "b-1001")
+        manager.tick(10.0, world)
+        stored = datastore.query(sensor_type="wifi_access_point")
+        assert stored[0].subject_id == "mary"
+
+    def test_unknown_mac_stays_unattributed(self, setup):
+        manager, datastore, _ = setup
+        manager.deploy("wifi_access_point", "ap-1", "b-1001")
+        world = StaticWorld()
+        world.put("stranger", "ff:ff", "b-1001")
+        manager.tick(10.0, world)
+        stored = datastore.query(sensor_type="wifi_access_point")
+        assert stored[0].subject_id is None
+
+    def test_already_attributed_passthrough(self, setup):
+        manager, _, _ = setup
+        obs = Observation.create(
+            "x", "wifi_access_point", 0.0, "b-1001",
+            {"device_mac": "aa:bb", "ap_mac": "a", "rssi": -1.0},
+            subject_id="someone-else",
+        )
+        assert manager.attribute(obs).subject_id == "someone-else"
+
+
+class TestCapturePath:
+    def test_stats_account_for_drops(self, setup):
+        manager, datastore, _ = setup
+        manager.deploy("wifi_access_point", "ap-1", "b-1001")   # authorized
+        manager.deploy("camera", "cam-1", "b-f1-corridor")      # not authorized
+        world = StaticWorld()
+        world.put("mary", "aa:bb", "b-1001")
+        stats = manager.tick(10.0, world)
+        assert stats.sampled == 2
+        assert stats.stored == 1
+        assert stats.dropped_capture == 1
+        assert datastore.count() == 1
+
+    def test_enforcement_disabled_stores_everything(self, setup):
+        manager, datastore, _ = setup
+        manager.enforce_capture = False
+        manager.deploy("camera", "cam-1", "b-f1-corridor")
+        stats = manager.tick(10.0, StaticWorld())
+        assert stats.stored == 1
+        assert datastore.count() == 1
+
+    def test_ingest_single_observation(self, setup):
+        manager, datastore, _ = setup
+        obs = Observation.create(
+            "ap-1", "wifi_access_point", 1.0, "b-1001",
+            {"device_mac": "aa:bb", "ap_mac": "a", "rssi": -1.0},
+        )
+        stored = manager.ingest(obs)
+        assert stored is not None
+        assert stored.subject_id == "mary"
+        assert datastore.count() == 1
+
+    def test_cumulative_stats_merge(self, setup):
+        manager, _, _ = setup
+        manager.deploy("wifi_access_point", "ap-1", "b-1001")
+        world = StaticWorld()
+        world.put("mary", "aa:bb", "b-1001")
+        manager.tick(10.0, world)
+        manager.tick(100.0, world)
+        assert manager.stats.sampled == 2

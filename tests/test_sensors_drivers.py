@@ -1,0 +1,159 @@
+"""Unit tests for the simulated sensor drivers."""
+
+import pytest
+
+from repro.sensors.drivers import (
+    BluetoothBeacon,
+    HVACUnit,
+    IDCardReader,
+    MotionSensor,
+    PowerOutletMeter,
+    SurveillanceCamera,
+    TemperatureSensor,
+    WiFiAccessPoint,
+    create_sensor,
+)
+from repro.sensors.environment import EnvironmentView, PresentDevice
+
+
+class Room(EnvironmentView):
+    """A single-space world with controllable contents."""
+
+    def __init__(self, space_id="r1"):
+        self.space_id = space_id
+        self.devices = []
+        self.temperature = 71.5
+        self.power = 250.0
+        self.credential = None
+
+    def devices_in(self, space_id):
+        return list(self.devices) if space_id == self.space_id else []
+
+    def temperature_of(self, space_id):
+        return self.temperature
+
+    def power_draw_of(self, space_id):
+        return self.power
+
+    def credential_presented(self, space_id):
+        cred, self.credential = self.credential, None
+        return cred
+
+
+@pytest.fixture
+def room():
+    return Room()
+
+
+class TestWiFiAccessPoint:
+    def test_logs_present_devices_without_attribution(self, room):
+        ap = WiFiAccessPoint("ap-1", "r1")
+        room.devices = [PresentDevice("mary", "aa:bb")]
+        observations = ap.sample(0.0, room)
+        assert len(observations) == 1
+        assert observations[0].payload["device_mac"] == "aa:bb"
+        assert observations[0].subject_id is None, "AP must not attribute"
+
+    def test_respects_log_interval(self, room):
+        ap = WiFiAccessPoint("ap-1", "r1", {"log_interval_s": 100.0})
+        room.devices = [PresentDevice("mary", "aa:bb")]
+        assert ap.sample(0.0, room)
+        assert ap.sample(50.0, room) == []
+        assert ap.sample(100.0, room)
+
+    def test_logging_off_produces_nothing(self, room):
+        ap = WiFiAccessPoint("ap-1", "r1", {"logging": "off"})
+        room.devices = [PresentDevice("mary", "aa:bb")]
+        assert ap.sample(0.0, room) == []
+
+    def test_disabled_produces_nothing(self, room):
+        ap = WiFiAccessPoint("ap-1", "r1")
+        ap.disable()
+        room.devices = [PresentDevice("mary", "aa:bb")]
+        assert ap.sample(0.0, room) == []
+
+
+class TestBluetoothBeacon:
+    def test_only_iota_devices_report(self, room):
+        beacon = BluetoothBeacon("bc-1", "r1")
+        room.devices = [
+            PresentDevice("mary", "aa:bb", has_iota=True),
+            PresentDevice("bob", "cc:dd", has_iota=False),
+        ]
+        observations = beacon.sample(0.0, room)
+        assert len(observations) == 1
+        assert observations[0].subject_id == "mary"
+
+
+class TestSurveillanceCamera:
+    def test_frame_rate_honoured(self, room):
+        camera = SurveillanceCamera("cam-1", "r1", {"capture_fps": 1.0})
+        assert camera.sample(0.0, room)
+        assert camera.sample(0.5, room) == []
+        assert camera.sample(1.0, room)
+
+    def test_recording_off_produces_nothing(self, room):
+        camera = SurveillanceCamera("cam-1", "r1", {"recording": "off"})
+        assert camera.sample(0.0, room) == []
+
+    def test_faces_detected_counts_occupants(self, room):
+        camera = SurveillanceCamera("cam-1", "r1")
+        room.devices = [PresentDevice("a", "m1"), PresentDevice("b", "m2")]
+        obs = camera.sample(0.0, room)[0]
+        assert obs.payload["faces_detected"] == 2
+
+
+class TestPowerAndTemperature:
+    def test_power_meter_samples_draw(self, room):
+        meter = PowerOutletMeter("pm-1", "r1", {"sample_interval_s": 10.0})
+        obs = meter.sample(0.0, room)[0]
+        assert obs.payload["watts"] == 250.0
+        assert meter.sample(5.0, room) == []
+
+    def test_temperature_sampled(self, room):
+        sensor = TemperatureSensor("t-1", "r1", {"sample_interval_s": 10.0})
+        obs = sensor.sample(0.0, room)[0]
+        assert obs.payload["fahrenheit"] == 71.5
+
+
+class TestMotionSensor:
+    def test_motion_flag(self, room):
+        motion = MotionSensor("m-1", "r1")
+        assert motion.sample(0.0, room)[0].payload["motion"] == 0
+        room.devices = [PresentDevice("mary", "aa:bb")]
+        assert motion.sample(1.0, room)[0].payload["motion"] == 1
+
+
+class TestHVACUnit:
+    def test_reports_own_settings(self, room):
+        hvac = HVACUnit("h-1", "r1", {"setpoint_f": 68.0})
+        obs = hvac.sample(0.0, room)[0]
+        assert obs.payload["setpoint_f"] == 68.0
+
+    def test_actuation_visible_next_sample(self, room):
+        hvac = HVACUnit("h-1", "r1")
+        hvac.actuate({"fan_speed": "high"})
+        assert hvac.sample(0.0, room)[0].payload["fan_speed"] == "high"
+
+
+class TestIDCardReader:
+    def test_nothing_without_credential(self, room):
+        reader = IDCardReader("rd-1", "r1")
+        assert reader.sample(0.0, room) == []
+
+    def test_credential_attributed(self, room):
+        reader = IDCardReader("rd-1", "r1")
+        room.credential = "cred:mary"
+        obs = reader.sample(0.0, room)[0]
+        assert obs.payload["credential_id"] == "cred:mary"
+        assert obs.subject_id == "mary"
+
+
+class TestFactory:
+    def test_create_known_types(self):
+        sensor = create_sensor("camera", "c-1", "r1")
+        assert isinstance(sensor, SurveillanceCamera)
+
+    def test_create_unknown_type(self):
+        with pytest.raises(KeyError):
+            create_sensor("sonar", "s-1", "r1")

@@ -1,0 +1,73 @@
+"""Unit tests for user profiles and the directory."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.users.profile import UserDirectory, UserProfile
+
+
+def profile(user_id="mary", macs=("aa:bb",), groups=frozenset({"faculty"})):
+    return UserProfile(
+        user_id=user_id,
+        name=user_id.title(),
+        groups=groups,
+        device_macs=tuple(macs),
+    )
+
+
+class TestUserProfile:
+    def test_empty_id_rejected(self):
+        with pytest.raises(PolicyError):
+            UserProfile(user_id="", name="x")
+
+    def test_in_group(self):
+        assert profile().in_group("faculty")
+        assert not profile().in_group("staff")
+
+
+class TestUserDirectory:
+    def test_add_and_get(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        assert directory.get("mary").name == "Mary"
+        assert "mary" in directory
+        assert len(directory) == 1
+
+    def test_duplicate_user_rejected(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        with pytest.raises(PolicyError):
+            directory.add(profile())
+
+    def test_duplicate_device_rejected(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        with pytest.raises(PolicyError):
+            directory.add(profile(user_id="bob", macs=("aa:bb",)))
+
+    def test_unknown_user(self):
+        with pytest.raises(PolicyError):
+            UserDirectory().get("ghost")
+
+    def test_owner_of_device(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        assert directory.owner_of_device("aa:bb") == "mary"
+        assert directory.owner_of_device("zz:zz") is None
+
+    def test_members_of(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        directory.add(profile(user_id="bob", macs=("cc:dd",), groups=frozenset({"staff"})))
+        assert [u.user_id for u in directory.members_of("staff")] == ["bob"]
+
+    def test_group_map_shape(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        assert directory.group_map() == {"mary": frozenset({"faculty"})}
+
+    def test_iteration(self):
+        directory = UserDirectory()
+        directory.add(profile())
+        directory.add(profile(user_id="bob", macs=("cc:dd",)))
+        assert {u.user_id for u in directory} == {"mary", "bob"}
