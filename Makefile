@@ -1,0 +1,27 @@
+# Common developer entry points.  Everything runs on the stdlib-only
+# package in src/; no install step is needed.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-fast bench-smoke obs
+
+# Full tier-1 suite: unit + integration + property tests.
+test:
+	$(PYTEST) -x -q
+
+# Skip tests marked slow (multi-day simulation runs).
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+# Sanity-pass the benchmark harness without timing loops: runs each
+# figure/scale benchmark once and prints the metric baseline.
+bench-smoke:
+	$(PYTEST) benchmarks/test_fig1_interaction.py \
+	          benchmarks/test_scale_enforcement.py \
+	          benchmarks/test_ablation_cache.py \
+	          --benchmark-disable -q -s
+
+# Run the Figure-1 scenario and print the observability snapshot.
+obs:
+	PYTHONPATH=src $(PYTHON) -m repro obs

@@ -10,7 +10,13 @@ reproduces every figure-shaped result in one go.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+
+import pytest
+
+from repro.obs import get_registry
 
 
 def report(title: str, lines) -> None:
@@ -20,3 +26,27 @@ def report(title: str, lines) -> None:
     for line in lines:
         print("   %s" % line)
     sys.stdout.flush()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_baseline():
+    """Emit the default-registry metric baseline after a benchmark run.
+
+    Every benchmark engine/bus/manager reports into the process-wide
+    default registry, so after the session the registry holds the
+    aggregate metric baseline for the run.  It is printed (visible with
+    ``-s``) and, when ``REPRO_METRICS_OUT`` is set, written there as
+    JSON so perf PRs can diff before/after snapshots.
+    """
+    yield
+    registry = get_registry()
+    lines = registry.render()
+    if not lines:
+        return
+    out_path = os.environ.get("REPRO_METRICS_OUT")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        lines = lines + ["(snapshot written to %s)" % out_path]
+    report("metric baseline (default registry, whole session)", lines)

@@ -9,6 +9,10 @@ lint
     Lint the default DBH policy set against the deployed sensors.
 inventory
     Print the synthetic Donald Bren Hall inventory.
+obs [--population N] [--ticks N] [--json PATH] [--traces N]
+    Run the Figure-1 interaction against a fresh metrics registry and
+    print the observability snapshot (counters, latency histograms with
+    p50/p95/p99, cache hit ratio, span trees).
 """
 
 from __future__ import annotations
@@ -79,6 +83,69 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.simulation.scenario import run_figure1_scenario
+
+    registry = obs.MetricsRegistry()
+    tracer = obs.Tracer()
+    previous_registry = obs.set_registry(registry)
+    previous_tracer = obs.set_tracer(tracer)
+    try:
+        run_figure1_scenario(
+            population=args.population,
+            capture_ticks=args.ticks,
+            cache_decisions=True,
+        )
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+
+    print("== observability snapshot (Figure-1 run, population %d, %d ticks) =="
+          % (args.population, args.ticks))
+    for line in registry.render():
+        print(line)
+
+    hits = registry.total("enforcement_cache_total", {"result": "hit"})
+    lookups = registry.total("enforcement_cache_total")
+    ratio = hits / lookups if lookups else 0.0
+    print()
+    print("enforcement cache hit ratio: %.3f (%d hits / %d lookups)"
+          % (ratio, hits, lookups))
+
+    if args.traces:
+        print()
+        print("== slowest traces ==")
+        for root in tracer.slowest_roots(args.traces):
+            for line in root.tree_lines():
+                print(line)
+
+    if args.json:
+        payload = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as handle:
+                    handle.write(payload + "\n")
+            except OSError as error:
+                print("error: cannot write %s: %s" % (args.json, error),
+                      file=sys.stderr)
+                return 1
+            print()
+            print("snapshot written to %s" % args.json)
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -87,7 +154,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     figure1 = subparsers.add_parser("figure1", help="run the Figure-1 interaction")
-    figure1.add_argument("--population", type=int, default=25)
+    figure1.add_argument("--population", type=_positive_int, default=25)
     figure1.add_argument(
         "--persona",
         choices=("unconcerned", "pragmatist", "fundamentalist"),
@@ -100,6 +167,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     inventory = subparsers.add_parser("inventory", help="print the DBH inventory")
     inventory.set_defaults(func=_cmd_inventory)
+
+    obs = subparsers.add_parser(
+        "obs", help="run Figure 1 and print the observability snapshot"
+    )
+    obs.add_argument("--population", type=_positive_int, default=15)
+    obs.add_argument("--ticks", type=_positive_int, default=5)
+    obs.add_argument("--json", default=None, metavar="PATH",
+                     help="also dump the snapshot as JSON ('-' for stdout)")
+    obs.add_argument("--traces", type=int, default=3,
+                     help="number of slowest span trees to print (0 disables)")
+    obs.set_defaults(func=_cmd_obs)
 
     args = parser.parse_args(argv)
     return args.func(args)

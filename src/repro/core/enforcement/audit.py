@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.language.vocabulary import GranularityLevel
 from repro.core.policy.base import DataRequest, DecisionPhase, Effect
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -42,19 +43,29 @@ class AuditLog:
     (coarse but O(1) amortized), with ``dropped`` counting the loss.
     """
 
-    def __init__(self, capacity: int = 100_000) -> None:
+    def __init__(
+        self, capacity: int = 100_000, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         if capacity < 2:
             raise ValueError("capacity must be >= 2")
         self._records: List[AuditRecord] = []
         self._capacity = capacity
         self.dropped = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_appends = registry.counter("audit_appends_total")
+        self._m_dropped = registry.counter("audit_dropped_total")
+        self._m_records = registry.gauge("audit_records")
 
     def append(self, record: AuditRecord) -> None:
         if len(self._records) >= self._capacity:
             keep = self._capacity // 2
-            self.dropped += len(self._records) - keep
+            trimmed = len(self._records) - keep
+            self.dropped += trimmed
+            self._m_dropped.inc(trimmed)
             self._records = self._records[-keep:]
         self._records.append(record)
+        self._m_appends.inc()
+        self._m_records.set(len(self._records))
 
     def __len__(self) -> int:
         return len(self._records)

@@ -17,6 +17,7 @@ preserving the "every decision audited" invariant.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Hashable, Optional, Tuple
 
@@ -38,6 +39,19 @@ class CachingEnforcementEngine(EnforcementEngine):
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        self._m_hits = self.metrics.counter(
+            "enforcement_cache_total", {"result": "hit"}
+        )
+        self._m_misses = self.metrics.counter(
+            "enforcement_cache_total", {"result": "miss"}
+        )
+        self._m_uncacheable = self.metrics.counter(
+            "enforcement_cache_total", {"result": "uncacheable"}
+        )
+        self._m_size = self.metrics.gauge("enforcement_cache_size")
+        self._m_invalidations = self.metrics.counter(
+            "enforcement_cache_invalidations_total"
+        )
 
     # ------------------------------------------------------------------
     # Keying
@@ -72,16 +86,23 @@ class CachingEnforcementEngine(EnforcementEngine):
     # Decisions
     # ------------------------------------------------------------------
     def decide(self, request: DataRequest) -> Decision:
+        start = time.perf_counter()
         if self.store.version != self._cached_version:
             self._cache.clear()
             self._cached_version = self.store.version
+            self._m_invalidations.inc()
+            self._m_size.set(0)
 
         key = self._key(request)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._m_hits.inc()
             self._cache.move_to_end(key)
             self._record(request, cached)
+            # A hit evaluates zero rules; that shows up honestly in the
+            # rules-evaluated histogram.
+            self._note_decision(cached, 0, time.perf_counter() - start)
             return Decision(request=request, resolution=cached)
 
         match = self._matcher.match(request)
@@ -89,11 +110,19 @@ class CachingEnforcementEngine(EnforcementEngine):
         self._record(request, resolution)
         if self._cacheable(request):
             self.misses += 1
+            self._m_misses.inc()
             self._cache[key] = resolution
             if len(self._cache) > self._cache_capacity:
                 self._cache.popitem(last=False)
+            self._m_size.set(len(self._cache))
         else:
             self.uncacheable += 1
+            self._m_uncacheable.inc()
+        self._note_decision(
+            resolution,
+            len(match.policies) + len(match.preferences),
+            time.perf_counter() - start,
+        )
         return Decision(request=request, resolution=resolution)
 
     # ------------------------------------------------------------------

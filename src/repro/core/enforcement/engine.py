@@ -9,6 +9,7 @@ is stored (capture/storage phases); the request manager calls
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -28,6 +29,11 @@ from repro.core.reasoner.resolution import (
     Resolution,
     ResolutionStrategy,
     resolve,
+)
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
 )
 from repro.sensors.base import Observation
 from repro.sensors.ontology import SensorOntology, default_ontology
@@ -89,6 +95,7 @@ class EnforcementEngine:
         sensor_categories: Optional[Dict[str, DataCategory]] = None,
         sensor_purposes: Optional[Dict[str, Purpose]] = None,
         audit: Optional[AuditLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store if store is not None else PolicyIndex()
         self.context = context if context is not None else EvaluationContext()
@@ -102,15 +109,34 @@ class EnforcementEngine:
             self.sensor_purposes.update(sensor_purposes)
         self.audit = audit if audit is not None else AuditLog()
         self._matcher = PolicyMatcher(self.store, self.context)
+        # Metric handles are resolved once here; decide() only touches
+        # plain attributes so instrumentation stays off the profile.
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._m_decisions = {
+            effect: self.metrics.counter(
+                "enforcement_decisions_total", {"effect": effect.value}
+            )
+            for effect in Effect
+        }
+        self._m_rules = self.metrics.histogram(
+            "enforcement_rules_evaluated", boundaries=DEFAULT_COUNT_BUCKETS
+        )
+        self._m_latency = self.metrics.histogram("enforcement_decide_seconds")
 
     # ------------------------------------------------------------------
     # Query-path enforcement (steps 9-10 of Figure 1)
     # ------------------------------------------------------------------
     def decide(self, request: DataRequest) -> Decision:
         """Resolve ``request`` and record the outcome."""
+        start = time.perf_counter()
         match = self._matcher.match(request)
         resolution = resolve(match, self.strategy)
         self._record(request, resolution)
+        self._note_decision(
+            resolution,
+            len(match.policies) + len(match.preferences),
+            time.perf_counter() - start,
+        )
         return Decision(request=request, resolution=resolution)
 
     # ------------------------------------------------------------------
@@ -163,6 +189,14 @@ class EnforcementEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _note_decision(
+        self, resolution: Resolution, rules_evaluated: int, elapsed_s: float
+    ) -> None:
+        """Update decision metrics (shared with the caching subclass)."""
+        self._m_decisions[resolution.effect].inc()
+        self._m_rules.observe(rules_evaluated)
+        self._m_latency.observe(elapsed_s)
+
     def _record(self, request: DataRequest, resolution: Resolution) -> None:
         self.audit.append(
             AuditRecord(

@@ -26,6 +26,7 @@ from repro.errors import NetworkError, SchemaError
 from repro.iota.notifications import Notification, NotificationManager
 from repro.iota.preference_model import DataPractice, LabeledDecision, PreferenceModel
 from repro.net.bus import MessageBus, RpcError
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Normalization of sensor-type spellings found in documents to the
 #: primary data category their observations yield.
@@ -134,9 +135,11 @@ class IoTAssistant:
         tippers_endpoint: str = "tippers",
         registry_endpoints: Optional[List[str]] = None,
         notification_threshold: float = 0.4,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.user_id = user_id
         self.bus = bus
+        self.metrics = metrics if metrics is not None else get_registry()
         self.model = model if model is not None else PreferenceModel()
         self.notifications = (
             notifications
@@ -159,16 +162,29 @@ class IoTAssistant:
         manager (step 6).
         """
         result = DiscoveryResult()
-        for endpoint in self.registry_endpoints:
-            try:
-                response = self.bus.call(
-                    endpoint, "discover", {"space_id": space_id}, retries=2
-                )
-            except (RpcError, NetworkError):
-                continue
-            result.registry_ids.append(response.get("registry_id", endpoint))
-            for entry in response.get("advertisements", []):
-                self._absorb_advertisement(entry, now, result)
+        self.metrics.counter("iota_discovery_rounds_total").inc()
+        # Trace on the bus's tracer so the sweep's bus.call spans nest
+        # under the discovery span.
+        with self.bus.tracer.span(
+            "iota.discover", user=self.user_id, space=space_id
+        ):
+            for endpoint in self.registry_endpoints:
+                try:
+                    response = self.bus.call(
+                        endpoint, "discover", {"space_id": space_id}, retries=2
+                    )
+                except (RpcError, NetworkError):
+                    self.metrics.counter(
+                        "iota_registries_unreachable_total"
+                    ).inc()
+                    continue
+                self.metrics.counter("iota_registries_reached_total").inc()
+                result.registry_ids.append(response.get("registry_id", endpoint))
+                for entry in response.get("advertisements", []):
+                    self._absorb_advertisement(entry, now, result)
+        self.metrics.counter("iota_notifications_total").inc(
+            len(result.notifications)
+        )
         self.last_discovery = result
         return result
 
@@ -258,7 +274,10 @@ class IoTAssistant:
             {"user_id": self.user_id, "selection": selection},
             retries=2,
         )
-        for conflict in submit_response.get("conflicts", []):
+        self.metrics.counter("iota_settings_submissions_total").inc()
+        conflicts = submit_response.get("conflicts", [])
+        self.metrics.counter("iota_conflicts_total").inc(len(conflicts))
+        for conflict in conflicts:
             self.reported_conflicts.append(conflict)
         return selection
 
@@ -271,6 +290,8 @@ class IoTAssistant:
             retries=2,
         )
         conflicts = list(response.get("conflicts", []))
+        self.metrics.counter("iota_preference_submissions_total").inc()
+        self.metrics.counter("iota_conflicts_total").inc(len(conflicts))
         self.reported_conflicts.extend(conflicts)
         return conflicts
 

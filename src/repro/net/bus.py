@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import NetworkError
 from repro.net.codec import decode_message, encode_message
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Tracer, get_tracer
 
 
 class RpcError(NetworkError):
@@ -42,7 +45,17 @@ class _CallableEndpoint(Endpoint):
 
 @dataclass
 class BusStats:
-    """Counters for experiments and debugging."""
+    """Counters for experiments and debugging.
+
+    ``calls`` counts transport *attempts* (each retry is an attempt);
+    ``logical_calls`` counts :meth:`MessageBus.call` invocations, and
+    ``retries`` the re-sent attempts after simulated loss, so
+    ``calls == logical_calls + retries`` always holds.  Keeping the
+    historical attempt-counting name ``calls`` preserves every existing
+    reader; rate computations should divide by the counter matching
+    their denominator (attempts for loss rates, logical calls for
+    request failure rates).
+    """
 
     calls: int = 0
     dropped: int = 0
@@ -50,6 +63,13 @@ class BusStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     simulated_latency_s: float = 0.0
+    logical_calls: int = 0
+    retries: int = 0
+
+    @property
+    def attempts(self) -> int:
+        """Alias making the attempt-counting semantics of ``calls`` explicit."""
+        return self.calls
 
 
 class MessageBus:
@@ -66,6 +86,8 @@ class MessageBus:
         drop_rate: float = 0.0,
         latency_s: float = 0.0,
         rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise NetworkError("drop_rate must lie in [0, 1)")
@@ -76,6 +98,14 @@ class MessageBus:
         self.latency_s = latency_s
         self._rng = rng if rng is not None else random.Random(0)
         self.stats = BusStats()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._m_attempts = self.metrics.counter("bus_attempts_total")
+        self._m_dropped = self.metrics.counter("bus_dropped_total")
+        self._m_errors = self.metrics.counter("bus_errors_total")
+        self._m_bytes_sent = self.metrics.counter("bus_bytes_sent_total")
+        self._m_bytes_received = self.metrics.counter("bus_bytes_received_total")
+        self._m_sim_latency = self.metrics.counter("bus_simulated_latency_seconds_total")
 
     # ------------------------------------------------------------------
     # Registration
@@ -117,40 +147,64 @@ class MessageBus:
         Raises :class:`NetworkError` on loss/unknown targets and
         :class:`RpcError` when the endpoint itself fails.
         """
-        attempts = retries + 1
-        last_error: Optional[NetworkError] = None
-        for _ in range(attempts):
-            try:
-                return self._call_once(target, method, payload or {})
-            except RpcError:
-                raise
-            except NetworkError as exc:
-                last_error = exc
-        assert last_error is not None
-        raise last_error
+        self.stats.logical_calls += 1
+        call_labels = {"target": target, "method": method}
+        self.metrics.counter("bus_calls_total", call_labels).inc()
+        latency = self.metrics.histogram("bus_call_seconds", call_labels)
+        start = time.perf_counter()
+        try:
+            with self.tracer.span("bus.call", target=target, method=method):
+                last_error: Optional[NetworkError] = None
+                for attempt in range(retries + 1):
+                    if attempt:
+                        self.stats.retries += 1
+                        self.metrics.counter(
+                            "bus_retries_total", {"target": target}
+                        ).inc()
+                    try:
+                        return self._call_once(target, method, payload or {})
+                    except RpcError:
+                        raise
+                    except NetworkError as exc:
+                        last_error = exc
+                assert last_error is not None
+                raise last_error
+        finally:
+            latency.observe(time.perf_counter() - start)
 
     def _call_once(
         self, target: str, method: str, payload: Dict[str, Any]
     ) -> Dict[str, Any]:
         self.stats.calls += 1
+        self._m_attempts.inc()
         self.stats.simulated_latency_s += self.latency_s
+        self._m_sim_latency.inc(self.latency_s)
         wire_request = encode_message(
             {"target": target, "method": method, "payload": payload}
         )
         self.stats.bytes_sent += len(wire_request)
+        self._m_bytes_sent.inc(len(wire_request))
         if self.drop_rate and self._rng.random() < self.drop_rate:
             self.stats.dropped += 1
+            self._m_dropped.inc()
+            self.metrics.counter("bus_dropped_by_target_total", {"target": target}).inc()
             raise NetworkError("message to %r dropped" % target)
         request = decode_message(wire_request)
         endpoint = self._endpoints.get(target)
         if endpoint is None:
             self.stats.errors += 1
+            self._m_errors.inc()
             raise NetworkError("no endpoint %r" % target)
         try:
             response = endpoint.handle(request["method"], request["payload"])
         except NetworkError as exc:
             self.stats.errors += 1
+            self._m_errors.inc()
+            self.metrics.counter(
+                "bus_rpc_errors_total", {"target": target, "method": method}
+            ).inc()
             raise RpcError(target, method, str(exc)) from None
         wire_response = encode_message({"payload": response if response is not None else {}})
         self.stats.bytes_received += len(wire_response)
+        self._m_bytes_received.inc(len(wire_response))
         return decode_message(wire_response)["payload"]

@@ -1,0 +1,52 @@
+"""Unified observability: metrics registry, tracing, instrumentation.
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalog and the
+tracing model.  Quick start::
+
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    obs.set_registry(registry)        # components pick this up
+    ... run a scenario ...
+    for line in registry.render():
+        print(line)
+"""
+
+from repro.obs.instrument import span, timed
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    ManualClock,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "timed",
+]

@@ -1,0 +1,371 @@
+"""Dependency-free metrics: counters, gauges, and bounded histograms.
+
+Every subsystem on the Figure-1 path (bus, enforcement engine, decision
+cache, sensor manager, request manager, IoTA) registers its counters
+here instead of growing another ad-hoc stats struct.  The registry is
+deliberately tiny and allocation-light -- metric handles are resolved
+once and then updated with plain attribute arithmetic -- so it can sit
+on the per-decision hot path without moving the benchmarks.
+
+Design constraints:
+
+- **No dependencies.**  Pure stdlib; snapshots are plain dicts that
+  ``json.dumps`` accepts unmodified.
+- **Bounded memory.**  Histograms keep fixed-size bucket counts (plus
+  count/sum/min/max), never raw samples, so a week-long simulation
+  cannot grow them.
+- **Deterministic percentiles.**  ``Histogram.percentile`` is a pure
+  function of the bucket counts and the observed min/max, which makes
+  merged histograms agree exactly with histograms built from the
+  concatenated samples (a property the test suite pins).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelPairs]
+
+#: Upper bucket bounds for latency-shaped histograms, in seconds:
+#: geometric from 1 microsecond to 10 seconds (4 buckets per decade).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    round(1e-6 * 10 ** (i / 4.0), 12) for i in range(29)
+)
+
+#: Upper bucket bounds for small-count histograms (rules evaluated,
+#: results per query, ...).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 89.0,
+    144.0, 233.0, 377.0, 610.0, 1000.0, 10000.0,
+)
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_dict(key: LabelPairs) -> Dict[str, str]:
+    return {k: v for k, v in key}
+
+
+class Counter:
+    """A monotonically non-decreasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact-at-boundary percentiles.
+
+    ``boundaries`` are *upper* bucket bounds; a sample ``v`` lands in
+    the first bucket whose bound is >= ``v``, with one overflow bucket
+    past the last bound.  Memory is O(len(boundaries)) regardless of
+    how many samples are observed.
+    """
+
+    __slots__ = ("name", "labels", "boundaries", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs = (),
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if not boundaries:
+            raise ValueError("histogram %r needs at least one bucket bound" % name)
+        bounds = tuple(float(b) for b in boundaries)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram %r bounds must be strictly increasing" % name)
+        self.name = name
+        self.labels = labels
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("histogram %r cannot observe NaN" % self.name)
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The p-th percentile estimate, exact for boundary-valued samples.
+
+        Returns the upper bound of the bucket holding the rank-``p``
+        sample, clamped to the observed maximum (so the overflow bucket
+        never reports infinity).  ``None`` when empty.
+        """
+        if self.count == 0:
+            return None
+        if not 0 < p <= 100:
+            raise ValueError("percentile must lie in (0, 100]")
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        cumulative = 0
+        estimate = self.boundaries[-1]
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.boundaries):
+                    estimate = self.boundaries[index]
+                else:
+                    estimate = self.max if self.max is not None else self.boundaries[-1]
+                break
+        assert self.max is not None
+        return min(estimate, self.max)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram equal to observing both sample streams."""
+        if self.boundaries != other.boundaries:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        merged = Histogram(self.name, self.labels, self.boundaries)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.sum = self.sum + other.sum
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxs) if maxs else None
+        return merged
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, name: str, labels: LabelPairs, data: Mapping[str, object]
+    ) -> "Histogram":
+        histogram = cls(name, labels, data["boundaries"])  # type: ignore[arg-type]
+        histogram.counts = [int(c) for c in data["counts"]]  # type: ignore[union-attr]
+        histogram.count = int(data["count"])  # type: ignore[arg-type]
+        histogram.sum = float(data["sum"])  # type: ignore[arg-type]
+        histogram.min = None if data["min"] is None else float(data["min"])  # type: ignore[arg-type]
+        histogram.max = None if data["max"] is None else float(data["max"])  # type: ignore[arg-type]
+        return histogram
+
+
+class MetricsRegistry:
+    """Owns every metric of one deployment (or one test)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Handles (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        return counter
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge(name, key[1])
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(name, key[1], boundaries)
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counters(self, name: str) -> List[Counter]:
+        return [c for (n, _), c in sorted(self._counters.items()) if n == name]
+
+    def histograms(self, name: str) -> List[Histogram]:
+        return [h for (n, _), h in sorted(self._histograms.items()) if n == name]
+
+    def total(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> float:
+        """Sum of every counter named ``name`` whose labels ⊇ ``labels``."""
+        subset = _label_key(labels)
+        total = 0.0
+        for (metric_name, label_key), counter in self._counters.items():
+            if metric_name == name and set(subset) <= set(label_key):
+                total += counter.value
+        return total
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable, deterministic view of every metric."""
+        return {
+            "counters": [
+                {"name": name, "labels": _labels_dict(labels), "value": c.value}
+                for (name, labels), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": _labels_dict(labels), "value": g.value}
+                for (name, labels), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                dict(
+                    {"name": name, "labels": _labels_dict(labels)},
+                    **h.snapshot(),
+                )
+                for (name, labels), h in sorted(self._histograms.items())
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        for entry in snapshot.get("counters", ()):  # type: ignore[union-attr]
+            counter = registry.counter(entry["name"], entry.get("labels"))
+            counter.value = entry["value"]
+        for entry in snapshot.get("gauges", ()):  # type: ignore[union-attr]
+            gauge = registry.gauge(entry["name"], entry.get("labels"))
+            gauge.value = entry["value"]
+        for entry in snapshot.get("histograms", ()):  # type: ignore[union-attr]
+            key = (entry["name"], _label_key(entry.get("labels")))
+            registry._histograms[key] = Histogram.from_snapshot(
+                entry["name"], key[1], entry
+            )
+        return registry
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> List[str]:
+        """Human-readable lines, one per metric, deterministically ordered."""
+        lines: List[str] = []
+        for (name, labels), counter in sorted(self._counters.items()):
+            lines.append(
+                "counter   %-46s %s" % (_format_name(name, labels), _format_number(counter.value))
+            )
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            lines.append(
+                "gauge     %-46s %s" % (_format_name(name, labels), _format_number(gauge.value))
+            )
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            if histogram.count == 0:
+                summary = "count=0"
+            else:
+                summary = (
+                    "count=%d mean=%s p50=%s p95=%s p99=%s max=%s"
+                    % (
+                        histogram.count,
+                        _format_number(histogram.mean),
+                        _format_number(histogram.percentile(50)),
+                        _format_number(histogram.percentile(95)),
+                        _format_number(histogram.percentile(99)),
+                        _format_number(histogram.max),
+                    )
+                )
+            lines.append(
+                "histogram %-46s %s" % (_format_name(name, labels), summary)
+            )
+        return lines
+
+
+def _format_name(name: str, labels: LabelPairs) -> str:
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % pair for pair in labels))
+
+
+def _format_number(value: object) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return "%.6g" % value
+    return "%d" % int(value)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Process-wide default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry components fall back to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

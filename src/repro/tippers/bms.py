@@ -28,6 +28,7 @@ from repro.core.reasoner.index import PolicyIndex, RuleStore
 from repro.core.reasoner.resolution import ResolutionStrategy
 from repro.errors import NetworkError, PolicyError, ServiceError
 from repro.net.bus import Endpoint
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.sensors.base import Sensor
 from repro.sensors.environment import EnvironmentView
 from repro.sensors.ontology import SensorOntology, default_ontology
@@ -58,11 +59,13 @@ class TIPPERS(Endpoint):
         settings_space: Optional[SettingsSpace] = None,
         enforce_capture: bool = True,
         cache_decisions: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if building_id not in spatial:
             raise PolicyError("unknown building %r" % building_id)
         self.spatial = spatial
         self.building_id = building_id
+        self.metrics = metrics if metrics is not None else get_registry()
         self.directory = directory if directory is not None else UserDirectory()
         self.ontology = ontology if ontology is not None else default_ontology()
         self.context = EvaluationContext(
@@ -75,6 +78,7 @@ class TIPPERS(Endpoint):
             context=self.context,
             strategy=strategy,
             ontology=self.ontology,
+            metrics=self.metrics,
         )
         self.datastore = Datastore()
         self.sensor_manager = SensorManager(
@@ -82,6 +86,7 @@ class TIPPERS(Endpoint):
             self.datastore,
             directory=self.directory,
             enforce_capture=enforce_capture,
+            metrics=self.metrics,
         )
         self.policy_manager = PolicyManager(
             self.store,
@@ -104,6 +109,7 @@ class TIPPERS(Endpoint):
             spatial,
             self.policy_manager,
             social=self.social,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------

@@ -14,15 +14,18 @@ with results degraded to the granted granularity.
 
 from __future__ import annotations
 
+import functools
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.core.enforcement.engine import EnforcementEngine
 from repro.core.enforcement.mechanisms import coarsen_space
 from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
 from repro.core.policy.base import DataRequest, DecisionPhase, RequesterKind
 from repro.errors import ServiceError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.spatial.model import SpatialModel
 from repro.tippers.inference import InferenceEngine, LocationEstimate
 from repro.tippers.policy_manager import PolicyManager
@@ -44,6 +47,43 @@ class QueryResponse:
         return QueryResponse(allowed=False, reasons=reasons)
 
 
+_Q = TypeVar("_Q", bound=Callable)
+
+
+def _instrumented_query(fn: _Q) -> _Q:
+    """Count and time one public query method of the request manager.
+
+    Counts are labelled by method and outcome (allowed/denied/error) so
+    service-facing deny rates are readable straight off the registry.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: "RequestManager", *args: object, **kwargs: object) -> QueryResponse:
+        start = time.perf_counter()
+        try:
+            response = fn(self, *args, **kwargs)
+        except Exception:
+            self.metrics.counter(
+                "tippers_queries_total",
+                {"method": fn.__name__, "outcome": "error"},
+            ).inc()
+            raise
+        finally:
+            self.metrics.histogram(
+                "tippers_query_seconds", {"method": fn.__name__}
+            ).observe(time.perf_counter() - start)
+        self.metrics.counter(
+            "tippers_queries_total",
+            {
+                "method": fn.__name__,
+                "outcome": "allowed" if response.allowed else "denied",
+            },
+        ).inc()
+        return response
+
+    return wrapper  # type: ignore[return-value]
+
+
 class RequestManager:
     """Service-facing query API, fully policy-checked."""
 
@@ -55,6 +95,7 @@ class RequestManager:
         spatial: SpatialModel,
         policy_manager: PolicyManager,
         social: Optional[SocialInference] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._engine = engine
         self._inference = inference
@@ -62,6 +103,7 @@ class RequestManager:
         self._spatial = spatial
         self._policy_manager = policy_manager
         self._social = social
+        self.metrics = metrics if metrics is not None else get_registry()
 
     # ------------------------------------------------------------------
     # Request construction
@@ -94,6 +136,7 @@ class RequestManager:
     # ------------------------------------------------------------------
     # Location queries (the paper's step 9/10 example)
     # ------------------------------------------------------------------
+    @_instrumented_query
     def locate_user(
         self,
         requester_id: str,
@@ -159,6 +202,7 @@ class RequestManager:
                 return user.user_id
         return None
 
+    @_instrumented_query
     def room_occupancy(
         self,
         requester_id: str,
@@ -196,6 +240,7 @@ class RequestManager:
             reasons=decision.resolution.reasons,
         )
 
+    @_instrumented_query
     def people_in_space(
         self,
         requester_id: str,
@@ -239,6 +284,7 @@ class RequestManager:
             reasons=reasons or ("no identifiable occupants released",),
         )
 
+    @_instrumented_query
     def occupancy_heatmap(
         self,
         requester_id: str,
@@ -294,6 +340,7 @@ class RequestManager:
     # ------------------------------------------------------------------
     # Social ties (the "with whom they spend time" inference)
     # ------------------------------------------------------------------
+    @_instrumented_query
     def frequent_contacts(
         self,
         requester_id: str,
@@ -348,6 +395,7 @@ class RequestManager:
     # ------------------------------------------------------------------
     # Event details (Policy 4)
     # ------------------------------------------------------------------
+    @_instrumented_query
     def event_details(
         self,
         requester_id: str,

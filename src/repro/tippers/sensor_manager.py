@@ -9,12 +9,14 @@ included).  This is steps (2) and (3) of Figure 1.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.enforcement.engine import EnforcementEngine
 from repro.core.policy.base import DecisionPhase
 from repro.errors import SensorError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.sensors.base import Observation, Sensor
 from repro.sensors.drivers import create_sensor
 from repro.sensors.environment import EnvironmentView
@@ -50,6 +52,7 @@ class SensorManager:
         datastore: Datastore,
         directory: Optional[UserDirectory] = None,
         enforce_capture: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._engine = engine
         self._datastore = datastore
@@ -57,6 +60,22 @@ class SensorManager:
         self._subsystems: Dict[str, SensorSubsystem] = {}
         self.enforce_capture = enforce_capture
         self.stats = CaptureStats()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._m_sampled = self.metrics.counter(
+            "capture_observations_total", {"stage": "sampled"}
+        )
+        self._m_stored = self.metrics.counter(
+            "capture_observations_total", {"stage": "stored"}
+        )
+        self._m_dropped_capture = self.metrics.counter(
+            "capture_dropped_total", {"phase": "capture"}
+        )
+        self._m_dropped_storage = self.metrics.counter(
+            "capture_dropped_total", {"phase": "storage"}
+        )
+        self._m_degraded = self.metrics.counter("capture_degraded_total")
+        self._m_ticks = self.metrics.counter("capture_ticks_total")
+        self._m_tick_seconds = self.metrics.histogram("capture_tick_seconds")
 
     # ------------------------------------------------------------------
     # Deployment
@@ -141,6 +160,7 @@ class SensorManager:
 
     def tick(self, now: float, environment: EnvironmentView) -> CaptureStats:
         """Sample every sensor once and run the capture path."""
+        start = time.perf_counter()
         tick_stats = CaptureStats()
         for subsystem in self._subsystems.values():
             for raw in subsystem.sample_all(now, environment):
@@ -150,6 +170,9 @@ class SensorManager:
                 if stored is not None:
                     tick_stats.stored += 1
         self.stats.merge(tick_stats)
+        self._note(tick_stats)
+        self._m_ticks.inc()
+        self._m_tick_seconds.observe(time.perf_counter() - start)
         return tick_stats
 
     def ingest(self, observation: Observation) -> Optional[Observation]:
@@ -160,7 +183,16 @@ class SensorManager:
         if stored is not None:
             tick_stats.stored += 1
         self.stats.merge(tick_stats)
+        self._note(tick_stats)
         return stored
+
+    def _note(self, tick_stats: CaptureStats) -> None:
+        """Mirror one batch of capture counters onto the registry."""
+        self._m_sampled.inc(tick_stats.sampled)
+        self._m_stored.inc(tick_stats.stored)
+        self._m_dropped_capture.inc(tick_stats.dropped_capture)
+        self._m_dropped_storage.inc(tick_stats.dropped_storage)
+        self._m_degraded.inc(tick_stats.degraded)
 
     def _ingest(
         self, observation: Observation, tick_stats: CaptureStats

@@ -29,3 +29,45 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestObsCommand:
+    def test_obs_prints_snapshot(self, capsys):
+        assert main(["obs", "--population", "6", "--ticks", "2"]) == 0
+        out = capsys.readouterr().out
+        # Bus call and drop counters.
+        assert "bus_calls_total" in out
+        assert "bus_dropped_total" in out
+        # Enforcement decisions by effect.
+        assert "enforcement_decisions_total{effect=allow}" in out
+        assert "enforcement_decisions_total{effect=deny}" in out
+        # Cache hit ratio.
+        assert "enforcement cache hit ratio:" in out
+        # At least one latency histogram with percentiles.
+        assert "enforcement_decide_seconds" in out
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+        # Span trees.
+        assert "slowest traces" in out
+
+    def test_obs_json_export(self, capsys, tmp_path):
+        path = tmp_path / "snapshot.json"
+        assert main(
+            ["obs", "--population", "6", "--ticks", "2", "--json", str(path), "--traces", "0"]
+        ) == 0
+        import json
+
+        snapshot = json.loads(path.read_text())
+        names = {entry["name"] for entry in snapshot["counters"]}
+        assert "bus_attempts_total" in names
+        assert "enforcement_decisions_total" in names
+        assert any(
+            entry["name"] == "enforcement_decide_seconds"
+            for entry in snapshot["histograms"]
+        )
+
+    def test_obs_does_not_pollute_default_registry(self, capsys):
+        from repro.obs import get_registry
+
+        before = get_registry()
+        assert main(["obs", "--population", "6", "--ticks", "2"]) == 0
+        assert get_registry() is before

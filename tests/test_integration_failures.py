@@ -18,6 +18,8 @@ from repro.iota.personas import PERSONAS, generate_decisions
 from repro.iota.preference_model import PreferenceModel
 from repro.irr.registry import IoTResourceRegistry
 from repro.net.bus import MessageBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.tippers.bms import TIPPERS
 
 
@@ -102,6 +104,93 @@ class TestPartialDeployments:
         )
         assert response.allowed  # no data yet, but the path works
         assert response.value is None
+
+
+class TestFailureVisibility:
+    """Injected failures must be *visible* in metrics.
+
+    After a lossy Figure-1 exchange, the drop, error, and retry counters
+    on the registry must reconcile exactly with the outcomes the caller
+    observed -- otherwise the observability layer under-reports exactly
+    the incidents it exists to explain.
+    """
+
+    @pytest.fixture
+    def observed_lossy_setup(self, tippers):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        bus = MessageBus(
+            drop_rate=0.3, rng=random.Random(42), metrics=registry, tracer=tracer
+        )
+        bus.register("tippers", tippers)
+        irr = IoTResourceRegistry("irr-1", tippers.spatial)
+        bus.register("irr-1", irr)
+        document = tippers.policy_manager.compile_policy_document()
+        irr.publish_resource("ads", "b", document)
+        assistant = IoTAssistant(
+            "mary", bus, registry_endpoints=["irr-1"], metrics=registry
+        )
+        return registry, tracer, bus, assistant
+
+    def test_drops_and_retries_reconcile_with_outcomes(self, observed_lossy_setup):
+        registry, _, bus, assistant = observed_lossy_setup
+        results = [assistant.discover("b-1001", now=float(i)) for i in range(20)]
+        reached = sum(1 for result in results if result.registry_ids)
+
+        # Registry counters mirror the bus's own books exactly.
+        assert registry.total("bus_attempts_total") == bus.stats.calls
+        assert registry.total("bus_calls_total") == bus.stats.logical_calls
+        assert registry.total("bus_retries_total") == bus.stats.retries
+        assert registry.total("bus_dropped_total") == bus.stats.dropped
+
+        # The accounting identity: every attempt is a first send or a retry.
+        assert bus.stats.calls == bus.stats.logical_calls + bus.stats.retries
+        # One logical call per sweep (a single registry endpoint).
+        assert bus.stats.logical_calls == 20
+        # No endpoint failures in this setup: every attempt either
+        # dropped or succeeded, and successes == sweeps that reached
+        # the registry.
+        assert bus.stats.errors == 0
+        assert bus.stats.calls - bus.stats.dropped == reached
+        # Failed sweeps are exactly the ones whose every attempt dropped.
+        failed = 20 - reached
+        assert bus.stats.dropped == bus.stats.retries + failed
+        # A 30% loss rate over 20 sweeps must show up in the counters.
+        assert bus.stats.dropped > 0
+
+        # IoTA-level counters agree with the caller-visible outcome.
+        assert registry.total("iota_discovery_rounds_total") == 20
+        assert registry.total("iota_registries_reached_total") == reached
+        assert registry.total("iota_registries_unreachable_total") == failed
+
+    def test_spans_record_failed_sweeps_as_errors(self, observed_lossy_setup):
+        registry, tracer, bus, assistant = observed_lossy_setup
+        for index in range(20):
+            assistant.discover("b-1001", now=float(index))
+        discover_spans = tracer.find("iota.discover")
+        assert len(discover_spans) == 20
+        assert all(span.finished for span in discover_spans)
+        call_spans = tracer.find("bus.call")
+        assert len(call_spans) == bus.stats.logical_calls
+        # A bus.call span errors exactly when its logical call failed,
+        # which is exactly an unreachable-registry sweep.
+        errored = sum(1 for span in call_spans if span.status == "error")
+        assert errored == registry.total("iota_registries_unreachable_total")
+
+    def test_rpc_errors_surface_in_error_counters(self, tippers):
+        registry = MetricsRegistry()
+        bus = MessageBus(metrics=registry, tracer=Tracer())
+        bus.register("tippers", tippers)
+        from repro.net.bus import RpcError
+
+        with pytest.raises(RpcError):
+            bus.call("tippers", "no_such_method", {})
+        assert bus.stats.errors == 1
+        assert registry.total("bus_errors_total") == 1
+        assert registry.total(
+            "bus_rpc_errors_total",
+            {"target": "tippers", "method": "no_such_method"},
+        ) == 1
 
 
 class TestCachedTippersEquivalence:

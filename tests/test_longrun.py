@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.reasoner.resolution import ResolutionStrategy
 from repro.simulation.longrun import WeekReport, run_week
 

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import NetworkError
 from repro.net.bus import Endpoint, MessageBus, RpcError
 from repro.net.codec import decode_message, encode_message
+from repro.obs.metrics import MetricsRegistry
 
 
 class Echo(Endpoint):
@@ -128,3 +129,75 @@ class TestLossAndLatency:
         bus.call("echo", "echo", {"x": "hello"})
         assert bus.stats.bytes_sent > 0
         assert bus.stats.bytes_received > 0
+
+
+class TestRetryAccounting:
+    """Pins the attempts-vs-logical-calls stat semantics.
+
+    ``stats.calls`` counts transport *attempts* (each retry is one more
+    attempt), while ``stats.logical_calls`` counts ``call()``
+    invocations and ``stats.retries`` the re-sends -- so lossy-run rates
+    can pick the right denominator instead of skewing attempt counts
+    against logical outcomes.
+    """
+
+    def test_attempts_split_into_logical_calls_and_retries(self):
+        bus = MessageBus(drop_rate=0.4, rng=random.Random(7), metrics=MetricsRegistry())
+        bus.register("echo", Echo())
+        succeeded = failed = 0
+        for index in range(50):
+            try:
+                bus.call("echo", "echo", {"i": index}, retries=3)
+                succeeded += 1
+            except NetworkError:
+                failed += 1
+        assert succeeded + failed == 50
+        assert bus.stats.logical_calls == 50
+        assert bus.stats.retries > 0, "a 40% loss rate must force retries"
+        assert bus.stats.calls == bus.stats.logical_calls + bus.stats.retries
+        assert bus.stats.attempts == bus.stats.calls
+        # With no endpoint errors, every attempt either dropped or
+        # succeeded, and each success completes one logical call.
+        assert bus.stats.errors == 0
+        assert bus.stats.calls - bus.stats.dropped == succeeded
+        # A failed logical call burns exactly 1 + retries attempts.
+        assert bus.stats.dropped == bus.stats.retries + failed
+
+    def test_lossless_bus_never_retries(self):
+        bus = MessageBus(metrics=MetricsRegistry())
+        bus.register("echo", Echo())
+        for index in range(10):
+            bus.call("echo", "echo", {"i": index}, retries=5)
+        assert bus.stats.logical_calls == 10
+        assert bus.stats.retries == 0
+        assert bus.stats.calls == 10
+
+    def test_rpc_error_consumes_single_attempt(self):
+        bus = MessageBus(metrics=MetricsRegistry())
+        bus.register("echo", Echo())
+        with pytest.raises(RpcError):
+            bus.call("echo", "boom", retries=5)
+        assert bus.stats.logical_calls == 1
+        assert bus.stats.retries == 0
+        assert bus.stats.calls == 1
+
+    def test_registry_mirrors_stats(self):
+        registry = MetricsRegistry()
+        bus = MessageBus(drop_rate=0.3, rng=random.Random(11), metrics=registry)
+        bus.register("echo", Echo())
+        for index in range(30):
+            try:
+                bus.call("echo", "echo", {"i": index}, retries=2)
+            except NetworkError:
+                pass
+        assert registry.total("bus_attempts_total") == bus.stats.calls
+        assert registry.total("bus_calls_total") == bus.stats.logical_calls
+        assert registry.total("bus_retries_total") == bus.stats.retries
+        assert registry.total("bus_dropped_total") == bus.stats.dropped
+        assert registry.total("bus_bytes_sent_total") == bus.stats.bytes_sent
+        assert registry.total("bus_bytes_received_total") == bus.stats.bytes_received
+        histogram = registry.histogram(
+            "bus_call_seconds", {"target": "echo", "method": "echo"}
+        )
+        assert histogram.count == bus.stats.logical_calls
+        assert histogram.percentile(95) is not None

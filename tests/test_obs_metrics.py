@@ -1,0 +1,204 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_and_labels_share_a_counter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", {"target": "tippers", "method": "locate"})
+        # Label order must not matter.
+        b = registry.counter("c", {"method": "locate", "target": "tippers"})
+        assert a is b
+
+    def test_distinct_labels_are_distinct_counters(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", {"effect": "allow"})
+        b = registry.counter("c", {"effect": "deny"})
+        a.inc(3)
+        b.inc(1)
+        assert a.value == 3 and b.value == 1
+        assert registry.total("c") == 4
+        assert registry.total("c", {"effect": "allow"}) == 3
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_float_increments_allowed(self):
+        counter = MetricsRegistry().counter("seconds_total")
+        counter.inc(0.25)
+        counter.inc(0.75)
+        assert counter.value == pytest.approx(1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("cache_size")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_labeled_gauges_independent(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", {"zone": "a"}).set(1)
+        registry.gauge("g", {"zone": "b"}).set(2)
+        assert registry.gauge("g", {"zone": "a"}).value == 1
+
+
+class TestHistogram:
+    def test_percentiles_exact_at_bucket_boundaries(self):
+        # Samples placed exactly on the bucket bounds must come back
+        # exactly: a sample at bound b lands in the bucket whose upper
+        # bound is b, and the estimator reports that upper bound.
+        histogram = Histogram("h", boundaries=(1.0, 2.0, 4.0, 8.0))
+        for value in (1.0, 1.0, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(25) == 1.0
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(75) == 2.0
+        assert histogram.percentile(95) == 4.0
+        assert histogram.percentile(100) == 4.0
+
+    def test_percentile_of_overflow_bucket_is_observed_max(self):
+        histogram = Histogram("h", boundaries=(1.0, 2.0))
+        histogram.observe(50.0)
+        assert histogram.percentile(99) == 50.0
+
+    def test_percentile_clamped_to_max_within_bucket(self):
+        # 0.3 lands in the (0.25, 0.5] bucket; the raw estimate 0.5 is
+        # clamped to the observed max so it never exceeds reality.
+        histogram = Histogram("h", boundaries=(0.25, 0.5, 1.0))
+        histogram.observe(0.3)
+        assert histogram.percentile(50) == 0.3
+
+    def test_empty_percentile_is_none(self):
+        assert Histogram("h", boundaries=(1.0,)).percentile(50) is None
+
+    def test_invalid_percentile_rejected(self):
+        histogram = Histogram("h", boundaries=(1.0,))
+        histogram.observe(0.5)
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_count_sum_min_max(self):
+        histogram = Histogram("h", boundaries=DEFAULT_COUNT_BUCKETS)
+        for value in (3, 1, 4, 1, 5):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == 14
+        assert histogram.min == 1
+        assert histogram.max == 5
+        assert histogram.mean == pytest.approx(2.8)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(1.0,)).observe(float("nan"))
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=())
+
+    def test_merge_requires_matching_bounds(self):
+        a = Histogram("h", boundaries=(1.0, 2.0))
+        b = Histogram("h", boundaries=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_adds_counts(self):
+        a = Histogram("h", boundaries=(1.0, 2.0, 4.0))
+        b = Histogram("h", boundaries=(1.0, 2.0, 4.0))
+        a.observe(0.5)
+        a.observe(3.0)
+        b.observe(1.5)
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.min == 0.5
+        assert merged.max == 3.0
+        assert sum(merged.counts) == 3
+
+    def test_default_latency_buckets_strictly_increasing(self):
+        bounds = DEFAULT_LATENCY_BUCKETS
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(10.0)
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"k": "v"}).inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", boundaries=(1.0, 2.0)).observe(1.5)
+        parsed = json.loads(json.dumps(registry.snapshot()))
+        assert parsed["counters"][0]["value"] == 2
+
+    def test_restore_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"k": "v"}).inc(2)
+        registry.gauge("g").set(-3)
+        histogram = registry.histogram("h", boundaries=(1.0, 2.0, 4.0))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        restored = MetricsRegistry.restore(registry.snapshot())
+        assert restored.snapshot() == registry.snapshot()
+        assert restored.histogram("h", boundaries=(1.0, 2.0, 4.0)).percentile(
+            50
+        ) == histogram.percentile(50)
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestRender:
+    def test_render_shows_percentiles(self):
+        registry = MetricsRegistry()
+        registry.counter("bus_calls_total", {"target": "tippers"}).inc(3)
+        histogram = registry.histogram("decide_seconds", boundaries=(0.001, 0.01))
+        histogram.observe(0.0005)
+        lines = "\n".join(registry.render())
+        assert "bus_calls_total{target=tippers}" in lines
+        assert "p50=" in lines and "p95=" in lines and "p99=" in lines
+
+    def test_empty_histogram_renders_count_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert "count=0" in registry.render()[0]
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
