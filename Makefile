@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke obs
+.PHONY: test test-fast bench-smoke lint obs
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -21,6 +21,11 @@ bench-smoke:
 	          benchmarks/test_scale_enforcement.py \
 	          benchmarks/test_ablation_cache.py \
 	          --benchmark-disable -q -s
+
+# Static analysis: audit the DBH policy set, then code-lint the tree.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro lint src tests benchmarks
 
 # Run the Figure-1 scenario and print the observability snapshot.
 obs:

@@ -5,8 +5,12 @@ Commands
 figure1 [--population N] [--persona NAME]
     Run the paper's Figure-1 interaction end to end and print the
     per-step report.
-lint
-    Lint the default DBH policy set against the deployed sensors.
+lint [paths...] [--format text|json] [--select RULES]
+    With no paths: statically audit the default DBH policy set, its
+    advertisement registry, and the deployed sensors (policy rules
+    P001-P010 plus the reasoner's legacy checks).  With paths: run the
+    AST code lint (rules C001-C006) over every ``*.py`` file under
+    them.  Exits 0 when clean, 1 on findings, 2 on usage errors.
 inventory
     Print the synthetic Donald Bren Hall inventory.
 obs [--population N] [--ticks N] [--json PATH] [--traces N]
@@ -39,6 +43,52 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        exit_code,
+        expand_selection,
+        lint_dbh_scenario,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+    from repro.errors import AnalysisError
+
+    try:
+        selection = expand_selection(args.select)
+        if args.paths:
+            findings = lint_paths(args.paths, select=selection)
+        else:
+            findings = lint_dbh_scenario(select=selection)
+    except AnalysisError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(render_json(findings), indent=2, sort_keys=True))
+        return exit_code(findings)
+
+    if not args.paths and not findings:
+        # Legacy reasoner checks still back the no-path audit; keep the
+        # "policy set is clean" phrasing the test suite (and humans)
+        # rely on.
+        legacy = _legacy_policy_findings()
+        if legacy:
+            for finding in legacy:
+                print(finding)
+            return 1
+        print("policy set is clean")
+        return 0
+
+    for line in render_text(findings):
+        print(line)
+    if not findings:
+        print("no findings")
+    return exit_code(findings)
+
+
+def _legacy_policy_findings():
     from repro.core.policy import catalog
     from repro.core.reasoner.analysis import analyze_policies, errors_only
     from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
@@ -53,13 +103,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         catalog.policy_service_sharing(BUILDING_ID),
     ]
     deployed = {s.sensor_type for s in tippers.sensor_manager.sensors()}
-    findings = analyze_policies(policies, deployed_sensor_types=deployed)
-    if not findings:
-        print("policy set is clean")
-        return 0
-    for finding in findings:
-        print(finding)
-    return 1 if errors_only(findings) else 0
+    return errors_only(analyze_policies(policies, deployed_sensor_types=deployed))
 
 
 def _cmd_inventory(args: argparse.Namespace) -> int:
@@ -162,7 +206,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     figure1.set_defaults(func=_cmd_figure1)
 
-    lint = subparsers.add_parser("lint", help="lint the default policy set")
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: policy audit (no paths) or code lint (paths)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to code-lint; omit to audit the DBH policy set",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids or prefixes (e.g. C003 or P)",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     inventory = subparsers.add_parser("inventory", help="print the DBH inventory")

@@ -1,0 +1,47 @@
+"""Static analysis: policy-set lint and a custom AST lint pass.
+
+Two analyzers share one finding/severity/reporting core
+(:mod:`repro.analysis.findings`):
+
+- :class:`PolicyLinter` audits whole advertisement registries and
+  policy documents statically (rules ``P001``--``P010``).
+- :class:`CodeLinter` runs stdlib-``ast`` rules over the codebase
+  itself (rules ``C001``--``C006``).
+
+Both are exposed through ``python -m repro lint``.
+"""
+
+from repro.analysis.code_lint import CodeLinter, lint_paths
+from repro.analysis.findings import (
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    expand_selection,
+    exit_code,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from repro.analysis.policy_lint import (
+    PURPOSE_MAX_RETENTION,
+    PolicyLinter,
+    lint_dbh_scenario,
+)
+
+__all__ = [
+    "CodeLinter",
+    "Finding",
+    "PolicyLinter",
+    "PURPOSE_MAX_RETENTION",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "exit_code",
+    "expand_selection",
+    "lint_dbh_scenario",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "sort_findings",
+]

@@ -1,0 +1,213 @@
+"""Shared finding/severity/reporting core of the static analyzers.
+
+Both analyzers -- the policy lint over IRR advertisement sets and the
+AST lint over the codebase -- emit :class:`Finding` objects tagged with
+a rule from the process-wide :data:`RULES` registry, so one reporter,
+one suppression syntax, and one exit-code policy serve both.
+
+Suppression: a source line carrying ``# repro: noqa=C002`` (comma-
+separate several ids; ``ALL`` silences every rule) suppresses findings
+the code linter anchors to that line.  Policy findings have no source
+line and cannot be suppressed; fix the document instead.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.errors import AnalysisError
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Lower is more severe (error=0, warning=1, info=2)."""
+        return (Severity.ERROR, Severity.WARNING, Severity.INFO).index(self)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+    def __post_init__(self) -> None:
+        if not re.match(r"^[CP]\d{3}$", self.rule_id):
+            raise AnalysisError(
+                "rule id %r must look like C001 or P001" % self.rule_id
+            )
+
+
+#: Process-wide rule registry: rule id -> :class:`Rule`.  Populated at
+#: import time by :mod:`repro.analysis.policy_lint` (P-rules) and
+#: :mod:`repro.analysis.code_lint` (C-rules).
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, name: str, severity: Severity, summary: str) -> Rule:
+    """Add a rule to :data:`RULES`; duplicate ids are a bug."""
+    if rule_id in RULES:
+        raise AnalysisError("rule %r registered twice" % rule_id)
+    rule = Rule(rule_id, name, severity, summary)
+    RULES[rule_id] = rule
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id (imports both analyzers)."""
+    # Importing for the registration side effect keeps the registry
+    # complete even when the caller only imported this module.
+    from repro.analysis import code_lint, policy_lint  # noqa: F401
+
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    """What the finding is about: a policy/advertisement/preference id
+    for policy findings, empty for code findings."""
+
+    file: str = ""
+    line: int = 0
+
+    @property
+    def rule_name(self) -> str:
+        rule = RULES.get(self.rule_id)
+        return rule.name if rule is not None else self.rule_id
+
+    def location(self) -> str:
+        if self.file:
+            return "%s:%d" % (self.file, self.line) if self.line else self.file
+        return self.subject
+
+    def __str__(self) -> str:
+        prefix = self.location()
+        body = "%s %s [%s] %s" % (
+            self.rule_id,
+            self.rule_name,
+            self.severity.value,
+            self.message,
+        )
+        return "%s: %s" % (prefix, body) if prefix else body
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic order: file/subject, line, severity, rule id."""
+    return sorted(
+        findings,
+        key=lambda f: (f.file, f.line, f.subject, f.severity.rank, f.rule_id),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule selection (--select)
+# ----------------------------------------------------------------------
+def expand_selection(select: Optional[str]) -> Optional[Set[str]]:
+    """Parse a ``--select`` expression into a set of rule ids.
+
+    Comma-separated; each token is a full rule id (``C003``) or a
+    prefix (``C`` selects every code rule, ``P00`` every P00x rule).
+    ``None``/empty means "all rules" and returns ``None``.
+    """
+    if not select:
+        return None
+    known = {rule.rule_id for rule in all_rules()}
+    chosen: Set[str] = set()
+    for token in select.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        matched = {rule_id for rule_id in known if rule_id.startswith(token)}
+        if not matched:
+            raise AnalysisError("--select %r matches no registered rule" % token)
+        chosen |= matched
+    return chosen
+
+
+def selected(finding: Finding, selection: Optional[Set[str]]) -> bool:
+    return selection is None or finding.rule_id in selection
+
+
+# ----------------------------------------------------------------------
+# Suppression (# repro: noqa=RULE)
+# ----------------------------------------------------------------------
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa=([A-Za-z0-9,\s]+)")
+
+
+def suppressions_in(source: str) -> Dict[int, Set[str]]:
+    """1-based line number -> rule ids suppressed on that line."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        ids = {token.strip().upper() for token in match.group(1).split(",")}
+        table[number] = {token for token in ids if token}
+    return table
+
+
+def is_suppressed(finding: Finding, suppressions: Mapping[int, Set[str]]) -> bool:
+    ids = suppressions.get(finding.line)
+    if not ids:
+        return False
+    return "ALL" in ids or finding.rule_id in ids
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(findings: Sequence[Finding]) -> List[str]:
+    """One line per finding plus a summary tail line."""
+    lines = [str(finding) for finding in findings]
+    if findings:
+        by_severity: Dict[str, int] = {}
+        for finding in findings:
+            by_severity[finding.severity.value] = (
+                by_severity.get(finding.severity.value, 0) + 1
+            )
+        summary = ", ".join(
+            "%d %s" % (count, name)
+            for name, count in sorted(by_severity.items())
+        )
+        lines.append("%d finding(s): %s" % (len(findings), summary))
+    return lines
+
+
+def render_json(findings: Sequence[Finding]) -> Dict[str, object]:
+    """A ``json.dumps``-ready payload mirroring the text report."""
+    return {
+        "findings": [
+            {
+                "rule_id": f.rule_id,
+                "rule": f.rule_name,
+                "severity": f.severity.value,
+                "message": f.message,
+                "subject": f.subject,
+                "file": f.file,
+                "line": f.line,
+            }
+            for f in findings
+        ],
+        "count": len(findings),
+    }
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """0 when clean, 1 when any finding survived suppression."""
+    return 1 if findings else 0

@@ -146,13 +146,14 @@ def laplace_noise(
 
     The classic differential-privacy perturbation used for numeric
     aggregates (e.g. noisy occupancy counts).  ``rng`` defaults to a
-    fresh unseeded generator; pass a seeded one for reproducibility.
+    deterministically seeded generator so repeated runs reproduce;
+    pass your own for independent noise streams.
     """
     if epsilon <= 0:
         raise EnforcementError("epsilon must be positive")
     if sensitivity <= 0:
         raise EnforcementError("sensitivity must be positive")
-    generator = rng if rng is not None else random.Random()
+    generator = rng if rng is not None else random.Random(0)
     scale = sensitivity / epsilon
     # Inverse-CDF sampling of the Laplace distribution.
     u = generator.random() - 0.5
@@ -164,8 +165,11 @@ def noisy_counts(
     epsilon: float = 1.0,
     rng: Optional[random.Random] = None,
 ) -> Dict[str, float]:
-    """Laplace-noised per-space counts (sensitivity 1 each)."""
-    generator = rng if rng is not None else random.Random()
+    """Laplace-noised per-space counts (sensitivity 1 each).
+
+    ``rng`` defaults to a deterministically seeded generator.
+    """
+    generator = rng if rng is not None else random.Random(0)
     return {
         key: laplace_noise(float(value), 1.0, epsilon, generator)
         for key, value in sorted(counts.items())

@@ -106,6 +106,16 @@ def _covers(denier: BuildingPolicy, allower: BuildingPolicy) -> bool:
     )
 
 
+def scope_covers(outer: BuildingPolicy, inner: BuildingPolicy) -> bool:
+    """Public face of :func:`_covers` for the static analyzers.
+
+    True when every request ``inner`` governs is also governed by
+    ``outer`` (selector-wise; conditions are ignored, a sound
+    over-approximation).
+    """
+    return _covers(outer, inner)
+
+
 def analyze_policies(
     policies: Sequence[BuildingPolicy],
     deployed_sensor_types: Optional[Set[str]] = None,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.language.vocabulary import GranularityLevel
 from repro.core.policy.base import Effect
@@ -143,3 +143,28 @@ def conflicts_for_user(
     """Conflicts involving only ``user_id``'s preferences."""
     mine = [p for p in preferences if p.user_id == user_id]
     return detect_conflicts(policies, mine, context)
+
+
+def detect_conflicts_by_user(
+    policies: Sequence[BuildingPolicy],
+    preferences: Sequence[UserPreference],
+    context: Optional[EvaluationContext] = None,
+    kinds: Optional[Sequence[ConflictKind]] = None,
+) -> Dict[str, List[Conflict]]:
+    """Whole-registry static driver: all-pairs conflicts grouped by user.
+
+    This promotes the pairwise runtime check (one building, one user,
+    the moment a preference is submitted) to a registry-wide audit: the
+    policy linter runs it over every stored preference before any
+    request is served, so self-contradictory advertisement sets are
+    caught ahead of time.  ``kinds`` restricts the report (e.g. only
+    ``ConflictKind.HARD`` for the lint gate); users without conflicts
+    are omitted.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    by_user: Dict[str, List[Conflict]] = {}
+    for conflict in detect_conflicts(policies, preferences, context):
+        if wanted is not None and conflict.kind not in wanted:
+            continue
+        by_user.setdefault(conflict.preference.user_id, []).append(conflict)
+    return by_user

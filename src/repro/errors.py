@@ -48,3 +48,7 @@ class NetworkError(ReproError):
 
 class StorageError(ReproError):
     """Datastore failure (unknown stream, bad query window)."""
+
+
+class AnalysisError(ReproError):
+    """Static-analysis misuse (unknown rule ids, unreadable paths)."""

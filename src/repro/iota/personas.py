@@ -60,10 +60,13 @@ class Persona:
     def decide(
         self, practice: DataPractice, rng: Optional[random.Random] = None, noise: float = 0.0
     ) -> LabeledDecision:
-        """The persona's (possibly noisy) decision on ``practice``."""
+        """The persona's (possibly noisy) decision on ``practice``.
+
+        ``rng`` defaults to a deterministically seeded generator.
+        """
         allowed = self.allows(practice)
         if noise > 0.0:
-            generator = rng if rng is not None else random.Random()
+            generator = rng if rng is not None else random.Random(0)
             if generator.random() < noise:
                 allowed = not allowed
         return LabeledDecision(practice=practice, allowed=allowed)

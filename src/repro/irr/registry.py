@@ -125,9 +125,20 @@ class IoTResourceRegistry(Endpoint):
         return len(self._advertisements)
 
     def advertisements(self) -> List[Advertisement]:
+        """Every advertisement, ordered by id.
+
+        This (together with :meth:`__iter__`) is the iteration hook the
+        static policy analyzer audits whole registries through; it
+        deliberately returns the wire-form :class:`Advertisement`
+        objects rather than parsed documents, so the audit sees exactly
+        what the IRR broadcasts.
+        """
         return sorted(
             self._advertisements.values(), key=lambda a: a.advertisement_id
         )
+
+    def __iter__(self):
+        return iter(self.advertisements())
 
     # ------------------------------------------------------------------
     # Discovery (step 5 of Figure 1)

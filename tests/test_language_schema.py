@@ -254,3 +254,109 @@ class TestLanguageSchemas:
             ]
         }
         assert not RESOURCE_POLICY_SCHEMA.is_valid(doc)
+
+
+class TestValidateErrorPaths:
+    """Error reporting contracts: oneOf diagnostics, nested paths,
+    non-dict instances."""
+
+    NESTED = {
+        "type": "object",
+        "properties": {
+            "resources": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "properties": {
+                        "observations": {
+                            "type": "array",
+                            "items": {"type": "object", "required": ["name"]},
+                        }
+                    },
+                },
+            }
+        },
+    }
+
+    def test_oneof_zero_matches_reports_each_branch_reason(self):
+        schema = {"oneOf": [{"type": "string"}, {"type": "object"}]}
+        with pytest.raises(ValidationError) as excinfo:
+            validate(3, schema)
+        assert "matched 0 of oneOf branches" in excinfo.value.reason
+        assert "expected type string" in excinfo.value.reason
+        assert "expected type object" in excinfo.value.reason
+
+    def test_oneof_two_matches_says_so(self):
+        schema = {"oneOf": [{"type": "integer"}, {"minimum": 0}]}
+        with pytest.raises(ValidationError) as excinfo:
+            validate(3, schema)
+        assert "matched 2 of oneOf branches" in excinfo.value.reason
+
+    def test_oneof_failure_carries_the_nested_path(self):
+        schema = {
+            "type": "object",
+            "properties": {
+                "purpose": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "oneOf": [{"type": "string"}, {"type": "object"}]
+                    },
+                }
+            },
+        }
+        with pytest.raises(ValidationError) as excinfo:
+            validate({"purpose": {"comfort": 7}}, schema)
+        assert excinfo.value.path == "/purpose/comfort"
+
+    def test_schema_bug_inside_oneof_branch_propagates(self):
+        # A broken branch is a schema bug, not an instance mismatch.
+        schema = {"oneOf": [{"type": "quaternion"}]}
+        with pytest.raises(SchemaError) as excinfo:
+            validate("x", schema)
+        assert not isinstance(excinfo.value, ValidationError)
+
+    def test_path_threads_through_arrays_and_objects(self):
+        doc = {"resources": [{"observations": [{"name": "ok"}, {}]}]}
+        with pytest.raises(ValidationError) as excinfo:
+            validate(doc, self.NESTED)
+        assert excinfo.value.path == "/resources/0/observations/1"
+        assert "name" in excinfo.value.reason
+
+    def test_root_path_renders_as_slash(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate(3, {"type": "string"})
+        assert excinfo.value.path == "/"
+        assert "(at /)" in str(excinfo.value)
+
+    @pytest.mark.parametrize("instance", ["text", ["list"], None, 42, True])
+    def test_non_dict_instances_against_object_schema(self, instance):
+        with pytest.raises(ValidationError) as excinfo:
+            validate(instance, {"type": "object", "required": ["x"]})
+        assert "expected type object" in excinfo.value.reason
+
+    def test_non_dict_instance_skips_required_check(self):
+        # Without a type constraint, required/properties only apply to
+        # dicts; scalars pass through untouched.
+        validate("anything", {"required": ["x"], "properties": {"x": {}}})
+
+    def test_non_dict_schema_is_rejected(self):
+        with pytest.raises(SchemaError):
+            validate({}, "not a schema")
+
+    def test_figure2_bad_purpose_branch_reports_deep_path(self):
+        doc = {
+            "resources": [
+                {
+                    "info": {"name": "n"},
+                    "context": {
+                        "location": {"spatial": {"name": "B", "type": "Building"}}
+                    },
+                    "sensor": {"type": "t"},
+                    "purpose": {"security": 99},
+                    "observations": [{"name": "o"}],
+                }
+            ]
+        }
+        errors = RESOURCE_POLICY_SCHEMA.errors(doc)
+        assert len(errors) == 1
+        assert "/resources/0/purpose/security" in errors[0]

@@ -13,10 +13,10 @@ class TestSpanNesting:
     def test_parent_child_links(self):
         tracer = Tracer()
         with tracer.span("parent") as parent:
-            with tracer.span("child-1") as child1:
+            with tracer.span("child_1") as child1:
                 with tracer.span("grandchild") as grandchild:
                     pass
-            with tracer.span("child-2") as child2:
+            with tracer.span("child_2") as child2:
                 pass
         assert parent.children == [child1, child2]
         assert child1.children == [grandchild]
