@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke lint obs
+.PHONY: test test-fast bench-smoke lint obs chaos
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -30,3 +30,12 @@ lint:
 # Run the Figure-1 scenario and print the observability snapshot.
 obs:
 	PYTHONPATH=src $(PYTHON) -m repro obs
+
+# Chaos sweep: the fault-injection/resilience test suite, then one
+# pinned chaos run (fixed plan + seed) so regressions show in CI logs.
+chaos:
+	$(PYTEST) -x -q tests/test_faults_plan.py tests/test_faults_injector.py \
+	          tests/test_resilience_retry.py tests/test_resilience_breaker.py \
+	          tests/test_enforcement_failclosed.py tests/test_chaos_scenario.py \
+	          tests/test_integration_failures.py tests/property/test_prop_retry.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --plan monkey --seed 11 --trace

@@ -17,6 +17,11 @@ obs [--population N] [--ticks N] [--json PATH] [--traces N]
     Run the Figure-1 interaction against a fresh metrics registry and
     print the observability snapshot (counters, latency histograms with
     p50/p95/p99, cache hit ratio, span trees).
+chaos [--plan NAME] [--seed N] [--population N] [--ticks N] [--json] [--trace]
+    Run the compact pipeline under a named fault plan (deterministic
+    fault injection) and report delivered/dropped/degraded counts, the
+    faults fired, and optionally the full fault trace.  ``--plan list``
+    prints the shipped plans.
 """
 
 from __future__ import annotations
@@ -183,6 +188,39 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FaultError
+    from repro.faults import describe_plans
+    from repro.simulation.chaos import run_chaos_scenario
+
+    if args.plan == "list":
+        for line in describe_plans():
+            print(line)
+        return 0
+    try:
+        report = run_chaos_scenario(
+            plan_name=args.plan,
+            seed=args.seed,
+            population=args.population,
+            ticks=args.ticks,
+        )
+    except FaultError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in report.summary_lines():
+            print(line)
+    if args.trace:
+        print()
+        print("== fault trace ==")
+        sys.stdout.write(report.trace_text)
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -237,6 +275,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.add_argument("--traces", type=int, default=3,
                      help="number of slowest span trees to print (0 disables)")
     obs.set_defaults(func=_cmd_obs)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run the pipeline under a named fault plan"
+    )
+    chaos.add_argument(
+        "--plan", default="monkey",
+        help="fault plan name, or 'list' to enumerate (default: monkey)",
+    )
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument("--population", type=_positive_int, default=8)
+    chaos.add_argument("--ticks", type=_positive_int, default=6)
+    chaos.add_argument("--json", action="store_true",
+                       help="print the report as JSON")
+    chaos.add_argument("--trace", action="store_true",
+                       help="also print the full fault trace")
+    chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

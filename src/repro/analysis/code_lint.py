@@ -105,6 +105,7 @@ LAYER_DAG: Dict[str, Set[str]] = {
     "users": {"errors"},
     "sensors": {"errors"},
     "net": {"errors", "obs"},
+    "faults": {"errors", "net", "obs"},
     "core": {"errors", "obs", "sensors", "spatial"},
     "analysis": {"core", "errors", "obs", "sensors", "spatial"},
     "tippers": {"core", "errors", "net", "obs", "sensors", "spatial", "users"},
@@ -112,8 +113,8 @@ LAYER_DAG: Dict[str, Set[str]] = {
     "iota": {"core", "errors", "net", "obs", "spatial"},
     "services": {"core", "errors", "net", "obs", "spatial", "tippers"},
     "simulation": {
-        "analysis", "core", "errors", "iota", "irr", "net", "obs",
-        "sensors", "services", "spatial", "tippers", "users",
+        "analysis", "core", "errors", "faults", "iota", "irr", "net",
+        "obs", "sensors", "services", "spatial", "tippers", "users",
     },
 }
 

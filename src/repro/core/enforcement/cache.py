@@ -24,6 +24,7 @@ from typing import Hashable, Optional, Tuple
 from repro.core.enforcement.engine import Decision, EnforcementEngine
 from repro.core.policy.base import DataRequest
 from repro.core.reasoner.resolution import Resolution, resolve
+from repro.errors import ReproError
 
 
 class CachingEnforcementEngine(EnforcementEngine):
@@ -74,12 +75,17 @@ class CachingEnforcementEngine(EnforcementEngine):
 
     def _cacheable(self, request: DataRequest) -> bool:
         """True when no candidate rule's outcome depends on time."""
-        for policy in self.store.candidate_policies(request):
-            if policy.condition.time_sensitive:
-                return False
-        for preference in self.store.candidate_preferences(request):
-            if preference.condition.time_sensitive:
-                return False
+        try:
+            for policy in self.store.candidate_policies(request):
+                if policy.condition.time_sensitive:
+                    return False
+            for preference in self.store.candidate_preferences(request):
+                if preference.condition.time_sensitive:
+                    return False
+        except ReproError:
+            # A faulted re-fetch cannot prove cache safety; treat the
+            # decision as uncacheable rather than propagating.
+            return False
         return True
 
     # ------------------------------------------------------------------
@@ -105,7 +111,12 @@ class CachingEnforcementEngine(EnforcementEngine):
             self._note_decision(cached, 0, time.perf_counter() - start)
             return Decision(request=request, resolution=cached)
 
-        match = self._matcher.match(request)
+        try:
+            match = self._matcher.match(request)
+        except ReproError as exc:
+            # Fail-closed denials are transient by construction; they
+            # are never written to the cache.
+            return self._fail_closed(request, exc, start)
         resolution = resolve(match, self.strategy)
         self._record(request, resolution)
         if self._cacheable(request):

@@ -30,6 +30,7 @@ from repro.core.reasoner.resolution import (
     ResolutionStrategy,
     resolve,
 )
+from repro.errors import ReproError
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     MetricsRegistry,
@@ -122,14 +123,25 @@ class EnforcementEngine:
             "enforcement_rules_evaluated", boundaries=DEFAULT_COUNT_BUCKETS
         )
         self._m_latency = self.metrics.histogram("enforcement_decide_seconds")
+        self._m_failclosed = self.metrics.counter("enforcement_failclosed_total")
 
     # ------------------------------------------------------------------
     # Query-path enforcement (steps 9-10 of Figure 1)
     # ------------------------------------------------------------------
     def decide(self, request: DataRequest) -> Decision:
-        """Resolve ``request`` and record the outcome."""
+        """Resolve ``request`` and record the outcome.
+
+        When the policy-fetch path itself fails (the rule store is
+        unreachable or faulted), the engine *fails closed*: the request
+        is denied, the denial is audited, and
+        ``enforcement_failclosed_total`` is incremented.  An outage must
+        never widen access.
+        """
         start = time.perf_counter()
-        match = self._matcher.match(request)
+        try:
+            match = self._matcher.match(request)
+        except ReproError as exc:
+            return self._fail_closed(request, exc, start)
         resolution = resolve(match, self.strategy)
         self._record(request, resolution)
         self._note_decision(
@@ -189,6 +201,21 @@ class EnforcementEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _fail_closed(
+        self, request: DataRequest, exc: ReproError, start: float
+    ) -> Decision:
+        """Deny, audit, and count a decision whose policy fetch failed."""
+        resolution = Resolution(
+            effect=Effect.DENY,
+            granularity=GranularityLevel.NONE,
+            notify_user=False,
+            reasons=("policy fetch failed: %s" % exc, "fail-closed deny"),
+        )
+        self._record(request, resolution)
+        self._m_failclosed.inc()
+        self._note_decision(resolution, 0, time.perf_counter() - start)
+        return Decision(request=request, resolution=resolution)
+
     def _note_decision(
         self, resolution: Resolution, rules_evaluated: int, elapsed_s: float
     ) -> None:

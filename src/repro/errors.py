@@ -46,6 +46,18 @@ class NetworkError(ReproError):
     """Simulated network failure (timeout, dropped message)."""
 
 
+class DeadlineError(NetworkError):
+    """A call's deadline budget was exhausted before it completed."""
+
+
+class CircuitOpenError(NetworkError):
+    """A call was rejected because the target's circuit breaker is open."""
+
+
+class FaultError(ReproError):
+    """A fault plan or fault injector is misconfigured."""
+
+
 class StorageError(ReproError):
     """Datastore failure (unknown stream, bad query window)."""
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the Figure-1 pipeline.
+
+Compose a seeded :class:`FaultPlan` out of :class:`FaultSpec` entries
+(or pick a shipped one with :func:`build_plan`), hand it to a
+:class:`FaultInjector`, and install the injector on the components
+under test.  Every fault that fires is recorded in a
+:class:`FaultTrace` whose text rendering is byte-identical across runs
+with the same seed and operation sequence.
+"""
+
+from repro.faults.injector import FaultInjector, single_spec_plan
+from repro.faults.plan import (
+    BUS_KINDS,
+    DATASTORE_KINDS,
+    POLICY_KINDS,
+    SENSOR_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultTrace,
+)
+from repro.faults.plans import build_plan, describe_plans, named_plans
+
+__all__ = [
+    "BUS_KINDS",
+    "DATASTORE_KINDS",
+    "POLICY_KINDS",
+    "SENSOR_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTrace",
+    "build_plan",
+    "describe_plans",
+    "named_plans",
+    "single_spec_plan",
+]

@@ -1,0 +1,172 @@
+"""The fault injector: installs a plan's faults onto live components.
+
+The injector owns one global *logical step* counter, advanced once per
+intercepted operation (bus transport attempt, datastore write, sensor
+sample, policy fetch).  Each interception consults the plan at the
+current step and, when a spec fires, records a :class:`FaultEvent` and
+applies the fault *inside the component's own accounting* -- a dropped
+bus message goes through the same counters as organic loss, a failed
+write raises the same :class:`~repro.errors.StorageError` a real
+backend would.
+
+Call sites never change: components expose ``install_fault_plane`` /
+``remove_fault_plane`` hooks and the injector plugs into them.  The
+only wrap-style hook is the policy store's ``candidate_policies``,
+replaced by an instance attribute so the enforcement engine's
+fail-closed path can be exercised without the core layer knowing about
+faults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import FaultError, StorageError
+from repro.faults.plan import (
+    BUS_KINDS,
+    DATASTORE_KINDS,
+    POLICY_KINDS,
+    SENSOR_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultTrace,
+)
+from repro.net.bus import BusFault, MessageBus
+
+
+class FaultInjector:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to components."""
+
+    def __init__(self, plan: FaultPlan, trace: Optional[FaultTrace] = None) -> None:
+        self.plan = plan
+        self.trace = trace if trace is not None else FaultTrace()
+        self._step = 0
+        self._buses: List[MessageBus] = []
+        self._datastores: List[Any] = []
+        self._subsystems: List[Any] = []
+        self._policy_stores: List[Tuple[Any, Any]] = []
+
+    @property
+    def step(self) -> int:
+        """The next logical step number (operations intercepted so far)."""
+        return self._step
+
+    def _advance(self) -> int:
+        step = self._step
+        self._step += 1
+        return step
+
+    # ------------------------------------------------------------------
+    # Site planes
+    # ------------------------------------------------------------------
+    def _bus_plane(self, target: str, method: str) -> Optional[BusFault]:
+        """Transport plane: one step per bus attempt."""
+        step = self._advance()
+        fired = self.plan.matching(step, BUS_KINDS, (target, method))
+        if not fired:
+            return None
+        fault = BusFault()
+        for spec in fired:
+            detail = "method=%s" % method
+            if spec.kind is FaultKind.DROP:
+                fault = fault.merge(BusFault(drop="injected by plan %r" % self.plan.name))
+            elif spec.kind is FaultKind.CRASH:
+                fault = fault.merge(BusFault(offline="crashed by plan %r" % self.plan.name))
+            elif spec.kind is FaultKind.CORRUPT:
+                fault = fault.merge(BusFault(corrupt=True))
+            elif spec.kind is FaultKind.LATENCY:
+                fault = fault.merge(BusFault(latency_s=spec.latency_s))
+                detail += " latency_s=%.3f" % spec.latency_s
+            else:  # pragma: no cover - BUS_KINDS filters the rest out
+                raise FaultError("unexpected bus fault kind %r" % spec.kind)
+            self.trace.record(step, "bus", spec.kind, target, detail)
+        return fault
+
+    def _datastore_plane(self, op: str, detail: str) -> bool:
+        """Storage plane: one step per write; True fails the write."""
+        step = self._advance()
+        fired = self.plan.matching(step, DATASTORE_KINDS, (op, detail))
+        for spec in fired:
+            self.trace.record(step, "datastore", spec.kind, op, "detail=%s" % detail)
+        return bool(fired)
+
+    def _sensor_plane(self, sensor: Any) -> bool:
+        """Sensing plane: one step per sensor sample; True stalls it."""
+        step = self._advance()
+        fired = self.plan.matching(
+            step, SENSOR_KINDS, (sensor.sensor_id, sensor.sensor_type)
+        )
+        for spec in fired:
+            self.trace.record(step, "sensors", spec.kind, sensor.sensor_id)
+        return bool(fired)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install_bus(self, bus: MessageBus) -> None:
+        bus.install_fault_plane(self._bus_plane)
+        self._buses.append(bus)
+
+    def install_datastore(self, datastore: Any) -> None:
+        datastore.install_fault_plane(self._datastore_plane)
+        self._datastores.append(datastore)
+
+    def install_subsystem(self, subsystem: Any) -> None:
+        subsystem.install_fault_plane(self._sensor_plane)
+        self._subsystems.append(subsystem)
+
+    def install_sensor_manager(self, manager: Any) -> None:
+        """Install on every subsystem the manager currently owns.
+
+        Subsystems created by later deployments are not covered; install
+        after the building's sensors are deployed.
+        """
+        for subsystem in manager.subsystems():
+            self.install_subsystem(subsystem)
+
+    def install_policy_store(self, store: Any) -> None:
+        """Make the store's policy fetches fault per the plan.
+
+        ``candidate_policies`` is shadowed with an instance attribute
+        that raises :class:`~repro.errors.StorageError` when a
+        POLICY_FETCH_FAIL spec fires -- exactly what the enforcement
+        engine's fail-closed path must absorb.
+        """
+        original = store.candidate_policies
+
+        def faulted_candidate_policies(request: Any) -> Any:
+            step = self._advance()
+            fired = self.plan.matching(step, POLICY_KINDS, ("policy_store",))
+            if fired:
+                self.trace.record(
+                    step, "policy", fired[0].kind, "policy_store"
+                )
+                raise StorageError(
+                    "injected policy fetch failure (plan %r, step %d)"
+                    % (self.plan.name, step)
+                )
+            return original(request)
+
+        store.candidate_policies = faulted_candidate_policies
+        self._policy_stores.append((store, original))
+
+    def uninstall(self) -> None:
+        """Detach from every component and restore wrapped methods."""
+        for bus in self._buses:
+            bus.remove_fault_plane(self._bus_plane)
+        for datastore in self._datastores:
+            datastore.remove_fault_plane(self._datastore_plane)
+        for subsystem in self._subsystems:
+            subsystem.remove_fault_plane(self._sensor_plane)
+        for store, original in self._policy_stores:
+            store.candidate_policies = original
+        del self._buses[:]
+        del self._datastores[:]
+        del self._subsystems[:]
+        del self._policy_stores[:]
+
+
+def single_spec_plan(spec: FaultSpec, seed: int = 0, name: str = "single") -> FaultPlan:
+    """Convenience used heavily by tests: a plan with one spec."""
+    return FaultPlan([spec], seed=seed, name=name)

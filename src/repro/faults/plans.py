@@ -1,0 +1,116 @@
+"""Named fault plans shipped with the chaos harness.
+
+Each builder returns a fresh :class:`~repro.faults.plan.FaultPlan` for
+a seed, so ``python -m repro chaos --plan lossy --seed 7`` and the chaos
+test suite agree on what a plan means.  Windows are expressed in
+logical steps (see :mod:`repro.faults.plan`); the registry/TIPPERS
+target names match the chaos scenario's endpoints (``irr-1``,
+``tippers``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+
+def _lossy(seed: int) -> FaultPlan:
+    """A flaky network: random drops plus periodic latency spikes."""
+    return FaultPlan(
+        [
+            FaultSpec(kind=FaultKind.DROP, rate=0.25),
+            FaultSpec(kind=FaultKind.LATENCY, every=7, latency_s=0.05),
+        ],
+        seed=seed,
+        name="lossy",
+    )
+
+
+def _flaky_registry(seed: int) -> FaultPlan:
+    """The IRR flaps: offline on a third of the steps, lossy otherwise."""
+    return FaultPlan(
+        [
+            FaultSpec(kind=FaultKind.CRASH, target="irr-1", every=3),
+            FaultSpec(kind=FaultKind.DROP, target="irr-1", rate=0.25),
+        ],
+        seed=seed,
+        name="flaky-registry",
+    )
+
+
+def _datastore_brownout(seed: int) -> FaultPlan:
+    """Periodic write failures on inserts and erasures."""
+    return FaultPlan(
+        [
+            FaultSpec(kind=FaultKind.STORE_WRITE_FAIL, target="insert", every=4),
+            FaultSpec(kind=FaultKind.STORE_WRITE_FAIL, target="forget", rate=0.5),
+        ],
+        seed=seed,
+        name="datastore-brownout",
+    )
+
+
+def _policy_outage(seed: int) -> FaultPlan:
+    """The rule store goes dark for a window, then flickers."""
+    return FaultPlan(
+        [
+            FaultSpec(kind=FaultKind.POLICY_FETCH_FAIL, start=5, stop=60),
+            FaultSpec(kind=FaultKind.POLICY_FETCH_FAIL, start=60, every=3),
+        ],
+        seed=seed,
+        name="policy-outage",
+    )
+
+
+def _monkey(seed: int) -> FaultPlan:
+    """A little of everything, for the full-pipeline chaos run."""
+    return FaultPlan(
+        [
+            FaultSpec(kind=FaultKind.DROP, rate=0.2),
+            FaultSpec(kind=FaultKind.CORRUPT, every=11, phase=3),
+            FaultSpec(kind=FaultKind.LATENCY, every=5, phase=1, latency_s=0.02),
+            FaultSpec(kind=FaultKind.CRASH, target="irr-1", every=13, phase=5),
+            FaultSpec(kind=FaultKind.STORE_WRITE_FAIL, target="insert", every=9),
+            FaultSpec(kind=FaultKind.SENSOR_STALL, every=6, phase=2),
+            FaultSpec(kind=FaultKind.POLICY_FETCH_FAIL, every=4, phase=1),
+        ],
+        seed=seed,
+        name="monkey",
+    )
+
+
+_BUILDERS: Dict[str, Callable[[int], FaultPlan]] = {
+    "lossy": _lossy,
+    "flaky-registry": _flaky_registry,
+    "datastore-brownout": _datastore_brownout,
+    "policy-outage": _policy_outage,
+    "monkey": _monkey,
+}
+
+
+def named_plans() -> Tuple[str, ...]:
+    """The names ``build_plan`` accepts, stable order."""
+    return tuple(sorted(_BUILDERS))
+
+
+def build_plan(name: str, seed: int = 0) -> FaultPlan:
+    """A fresh instance of the named plan (fresh RNG state)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise FaultError(
+            "unknown fault plan %r (have: %s)" % (name, ", ".join(named_plans()))
+        ) from None
+    return builder(seed)
+
+
+def describe_plans() -> List[str]:
+    """One human-readable line per shipped plan, for the CLI."""
+    lines = []
+    for name in named_plans():
+        plan = _BUILDERS[name](0)
+        kinds = sorted({spec.kind.value for spec in plan.specs})
+        lines.append("%s: %d spec(s) [%s]" % (name, len(plan), ", ".join(kinds)))
+    return lines

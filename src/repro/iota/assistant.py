@@ -26,6 +26,7 @@ from repro.errors import NetworkError, SchemaError
 from repro.iota.notifications import Notification, NotificationManager
 from repro.iota.preference_model import DataPractice, LabeledDecision, PreferenceModel
 from repro.net.bus import MessageBus, RpcError
+from repro.net.resilience import Deadline, RetryPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Normalization of sensor-type spellings found in documents to the
@@ -136,10 +137,14 @@ class IoTAssistant:
         registry_endpoints: Optional[List[str]] = None,
         notification_threshold: float = 0.4,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        call_deadline_s: Optional[float] = None,
     ) -> None:
         self.user_id = user_id
         self.bus = bus
         self.metrics = metrics if metrics is not None else get_registry()
+        self.retry_policy = retry_policy
+        self.call_deadline_s = call_deadline_s
         self.model = model if model is not None else PreferenceModel()
         self.notifications = (
             notifications
@@ -150,6 +155,29 @@ class IoTAssistant:
         self.registry_endpoints = list(registry_endpoints or [])
         self.reported_conflicts: List[str] = []
         self.last_discovery: Optional[DiscoveryResult] = None
+
+    def _call(self, target: str, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One bus call under the assistant's resilience settings.
+
+        With a :class:`~repro.net.resilience.RetryPolicy` configured,
+        its deterministic backoff schedule replaces the legacy fixed
+        retry count; ``call_deadline_s`` opens a fresh
+        :class:`~repro.net.resilience.Deadline` per logical call.
+        """
+        if self.retry_policy is None:
+            return self.bus.call(target, method, payload, retries=2)
+        deadline = (
+            Deadline(self.call_deadline_s)
+            if self.call_deadline_s is not None
+            else None
+        )
+        return self.bus.call(
+            target,
+            method,
+            payload,
+            retry_policy=self.retry_policy,
+            deadline=deadline,
+        )
 
     # ------------------------------------------------------------------
     # Step 5: discovery
@@ -170,8 +198,8 @@ class IoTAssistant:
         ):
             for endpoint in self.registry_endpoints:
                 try:
-                    response = self.bus.call(
-                        endpoint, "discover", {"space_id": space_id}, retries=2
+                    response = self._call(
+                        endpoint, "discover", {"space_id": space_id}
                     )
                 except (RpcError, NetworkError):
                     self.metrics.counter(
@@ -262,17 +290,14 @@ class IoTAssistant:
         Returns the submitted selection; conflicts reported by the
         building are recorded and surfaced as notifications.
         """
-        response = self.bus.call(
-            self.tippers_endpoint, "get_settings_document", {}, retries=2
-        )
+        response = self._call(self.tippers_endpoint, "get_settings_document", {})
         document = SettingsDocument.from_dict(response)
         space = SettingsSpace.from_document(document)
         selection = self.choose_selection(space)
-        submit_response = self.bus.call(
+        submit_response = self._call(
             self.tippers_endpoint,
             "submit_selection",
             {"user_id": self.user_id, "selection": selection},
-            retries=2,
         )
         self.metrics.counter("iota_settings_submissions_total").inc()
         conflicts = submit_response.get("conflicts", [])
@@ -283,11 +308,10 @@ class IoTAssistant:
 
     def submit_preference(self, preference: UserPreference) -> List[str]:
         """Send an explicit preference to the building (step 8)."""
-        response = self.bus.call(
+        response = self._call(
             self.tippers_endpoint,
             "submit_preference",
             {"preference": preference_to_dict(preference)},
-            retries=2,
         )
         conflicts = list(response.get("conflicts", []))
         self.metrics.counter("iota_preference_submissions_total").inc()
@@ -307,9 +331,7 @@ class IoTAssistant:
         payload: Dict[str, Any] = {"user_id": self.user_id, "now": now}
         if space_id is not None:
             payload["space_id"] = space_id
-        response = self.bus.call(
-            self.tippers_endpoint, "preview_effects", payload, retries=2
-        )
+        response = self._call(self.tippers_endpoint, "preview_effects", payload)
         lines = []
         for entry in response.get("entries", []):
             if entry["effect"] == "deny":

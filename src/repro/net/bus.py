@@ -5,10 +5,11 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import NetworkError
+from repro.errors import CircuitOpenError, DeadlineError, NetworkError
 from repro.net.codec import decode_message, encode_message
+from repro.net.resilience import BreakerBoard, Deadline, RetryPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Tracer, get_tracer
 
@@ -33,6 +34,36 @@ class Endpoint:
 
     def handle(self, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         raise NetworkError("method %r not handled" % method)
+
+
+@dataclass
+class BusFault:
+    """What an installed fault plane wants done to one transport attempt.
+
+    Returned by a plane callable (``plane(target, method) -> Optional[BusFault]``).
+    ``drop`` and ``offline`` carry a reason string and lose the message;
+    ``corrupt`` mangles the wire bytes so decoding fails; ``latency_s``
+    adds simulated network latency.  Effects compose across planes.
+    """
+
+    drop: Optional[str] = None
+    offline: Optional[str] = None
+    corrupt: bool = False
+    latency_s: float = 0.0
+
+    def merge(self, other: "BusFault") -> "BusFault":
+        return BusFault(
+            drop=self.drop if self.drop is not None else other.drop,
+            offline=self.offline if self.offline is not None else other.offline,
+            corrupt=self.corrupt or other.corrupt,
+            latency_s=self.latency_s + other.latency_s,
+        )
+
+
+#: A transport-level interception point: consulted once per attempt,
+#: inside the bus's own accounting, so injected faults reconcile with
+#: the attempt/retry counters exactly like organic loss does.
+FaultPlane = Callable[[str, str], Optional[BusFault]]
 
 
 class _CallableEndpoint(Endpoint):
@@ -65,6 +96,14 @@ class BusStats:
     simulated_latency_s: float = 0.0
     logical_calls: int = 0
     retries: int = 0
+    #: Attempts lost to an *injected* fault (drop/offline/corrupt);
+    #: always a subset of ``dropped``.
+    faulted: int = 0
+    #: Messages mangled in transit by a fault plane (subset of ``faulted``).
+    corrupted: int = 0
+    #: Calls refused by an open circuit breaker before becoming a
+    #: logical call (so ``calls == logical_calls + retries`` still holds).
+    rejected: int = 0
 
     @property
     def attempts(self) -> int:
@@ -88,6 +127,7 @@ class MessageBus:
         rng: Optional[random.Random] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise NetworkError("drop_rate must lie in [0, 1)")
@@ -98,6 +138,8 @@ class MessageBus:
         self.latency_s = latency_s
         self._rng = rng if rng is not None else random.Random(0)
         self.stats = BusStats()
+        self.breakers = breakers
+        self._fault_planes: List[FaultPlane] = []
         self.metrics = metrics if metrics is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._m_attempts = self.metrics.counter("bus_attempts_total")
@@ -132,6 +174,26 @@ class MessageBus:
         return name in self._endpoints
 
     # ------------------------------------------------------------------
+    # Fault planes
+    # ------------------------------------------------------------------
+    def install_fault_plane(self, plane: FaultPlane) -> None:
+        """Attach a transport-level fault plane (see :data:`FaultPlane`)."""
+        self._fault_planes.append(plane)
+
+    def remove_fault_plane(self, plane: FaultPlane) -> None:
+        if plane in self._fault_planes:
+            self._fault_planes.remove(plane)
+
+    def _consult_planes(self, target: str, method: str) -> Optional[BusFault]:
+        fault: Optional[BusFault] = None
+        for plane in self._fault_planes:
+            verdict = plane(target, method)
+            if verdict is None:
+                continue
+            fault = verdict if fault is None else fault.merge(verdict)
+        return fault
+
+    # ------------------------------------------------------------------
     # Calls
     # ------------------------------------------------------------------
     def call(
@@ -140,37 +202,95 @@ class MessageBus:
         method: str,
         payload: Optional[Dict[str, Any]] = None,
         retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[str, Any]:
         """Invoke ``method`` on ``target`` with a JSON round-trip.
 
-        ``retries`` re-sends on simulated loss (not on remote errors).
+        ``retries`` re-sends on simulated loss (not on remote errors);
+        passing ``retry_policy`` supersedes ``retries`` and additionally
+        charges the policy's deterministic backoff schedule as simulated
+        latency.  ``deadline`` bounds the call: backoff delays that would
+        overdraw the budget abort retrying with
+        :class:`~repro.errors.DeadlineError`.  When the bus carries a
+        :class:`~repro.net.resilience.BreakerBoard`, calls to a target
+        whose breaker is open are refused up front with
+        :class:`~repro.errors.CircuitOpenError` (counted in
+        ``stats.rejected``, never as a logical call).
+
         Raises :class:`NetworkError` on loss/unknown targets and
         :class:`RpcError` when the endpoint itself fails.
         """
+        if self.breakers is not None:
+            try:
+                self.breakers.check(target)
+            except CircuitOpenError:
+                self.stats.rejected += 1
+                self.metrics.counter(
+                    "bus_breaker_rejected_total", {"target": target}
+                ).inc()
+                raise
         self.stats.logical_calls += 1
         call_labels = {"target": target, "method": method}
         self.metrics.counter("bus_calls_total", call_labels).inc()
         latency = self.metrics.histogram("bus_call_seconds", call_labels)
         start = time.perf_counter()
+        schedule = retry_policy.schedule() if retry_policy is not None else None
+        max_attempts = (len(schedule) if schedule is not None else retries) + 1
         try:
             with self.tracer.span("bus.call", target=target, method=method):
                 last_error: Optional[NetworkError] = None
-                for attempt in range(retries + 1):
+                for attempt in range(max_attempts):
                     if attempt:
+                        backoff = schedule[attempt - 1] if schedule is not None else 0.0
+                        if deadline is not None and not deadline.try_charge(backoff):
+                            self.metrics.counter(
+                                "bus_deadline_exhausted_total", {"target": target}
+                            ).inc()
+                            raise DeadlineError(
+                                "deadline exhausted calling %s.%s after %d attempt(s)"
+                                % (target, method, attempt)
+                            ) from last_error
                         self.stats.retries += 1
                         self.metrics.counter(
                             "bus_retries_total", {"target": target}
                         ).inc()
+                        if backoff:
+                            self.stats.simulated_latency_s += backoff
+                            self._m_sim_latency.inc(backoff)
+                            self.metrics.counter(
+                                "bus_backoff_seconds_total", {"target": target}
+                            ).inc(backoff)
                     try:
-                        return self._call_once(target, method, payload or {})
+                        result = self._call_once(target, method, payload or {})
                     except RpcError:
+                        # The endpoint answered (with an application
+                        # error): the transport is healthy.
+                        if self.breakers is not None:
+                            self.breakers.record_success(target)
                         raise
                     except NetworkError as exc:
                         last_error = exc
+                        if self.breakers is not None:
+                            self.breakers.record_failure(target)
+                        continue
+                    if self.breakers is not None:
+                        self.breakers.record_success(target)
+                    return result
                 assert last_error is not None
                 raise last_error
         finally:
             latency.observe(time.perf_counter() - start)
+
+    def _drop_attempt(self, target: str, metric: str, reason: str) -> None:
+        """Account one lost attempt and raise the transport error."""
+        self.stats.dropped += 1
+        self._m_dropped.inc()
+        self.metrics.counter("bus_dropped_by_target_total", {"target": target}).inc()
+        if metric:
+            self.stats.faulted += 1
+            self.metrics.counter(metric, {"target": target}).inc()
+        raise NetworkError(reason)
 
     def _call_once(
         self, target: str, method: str, payload: Dict[str, Any]
@@ -179,17 +299,46 @@ class MessageBus:
         self._m_attempts.inc()
         self.stats.simulated_latency_s += self.latency_s
         self._m_sim_latency.inc(self.latency_s)
+        fault = self._consult_planes(target, method)
+        if fault is not None and fault.latency_s:
+            self.stats.simulated_latency_s += fault.latency_s
+            self._m_sim_latency.inc(fault.latency_s)
+            self.metrics.counter(
+                "bus_fault_latency_seconds_total", {"target": target}
+            ).inc(fault.latency_s)
         wire_request = encode_message(
             {"target": target, "method": method, "payload": payload}
         )
         self.stats.bytes_sent += len(wire_request)
         self._m_bytes_sent.inc(len(wire_request))
+        if fault is not None and fault.offline is not None:
+            self._drop_attempt(
+                target,
+                "bus_endpoint_offline_total",
+                "endpoint %r offline: %s" % (target, fault.offline),
+            )
+        if fault is not None and fault.drop is not None:
+            self._drop_attempt(
+                target,
+                "bus_fault_dropped_total",
+                "message to %r dropped: %s" % (target, fault.drop),
+            )
         if self.drop_rate and self._rng.random() < self.drop_rate:
-            self.stats.dropped += 1
-            self._m_dropped.inc()
-            self.metrics.counter("bus_dropped_by_target_total", {"target": target}).inc()
-            raise NetworkError("message to %r dropped" % target)
-        request = decode_message(wire_request)
+            self._drop_attempt(target, "", "message to %r dropped" % target)
+        if fault is not None and fault.corrupt:
+            # Truncation garbles the JSON framing; the decode below
+            # fails exactly the way a torn datagram would.
+            wire_request = wire_request[: max(1, len(wire_request) // 2)]
+            self.stats.corrupted += 1
+            self.metrics.counter("bus_corrupted_total", {"target": target}).inc()
+        try:
+            request = decode_message(wire_request)
+        except NetworkError:
+            self._drop_attempt(
+                target,
+                "bus_fault_dropped_total",
+                "message to %r corrupted in transit" % target,
+            )
         endpoint = self._endpoints.get(target)
         if endpoint is None:
             self.stats.errors += 1

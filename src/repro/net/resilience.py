@@ -1,0 +1,234 @@
+"""Resilience primitives: retry policies, deadlines, circuit breakers.
+
+The paper's interaction loop (IRR broadcast -> IoTA discovery -> TIPPERS
+enforcement) runs over lossy, intermittently-connected building
+infrastructure.  These primitives give every caller a *deterministic*
+recovery story:
+
+- :class:`RetryPolicy` -- exponential backoff with seeded jitter and a
+  bounded retry budget.  The whole backoff schedule is a pure function
+  of the policy's fields, so two runs with the same seed sleep the same
+  simulated durations in the same order.
+- :class:`Deadline` -- a per-call time budget.  Backoff and simulated
+  network latency are charged against it; once exhausted, retrying
+  stops with :class:`~repro.errors.DeadlineError`.
+- :class:`CircuitBreaker` / :class:`BreakerBoard` -- per-endpoint
+  breakers that trip after consecutive transport failures and reject
+  calls while open.  Recovery is measured in *logical calls* (rejected
+  attempts), never wall-clock time, keeping simulations reproducible.
+
+Nothing here sleeps: delays are accounted (into bus statistics and the
+deadline budget), matching the bus's simulated-latency model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CircuitOpenError, DeadlineError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and a retry budget.
+
+    ``max_retries`` is the number of *re*-sends after the first attempt.
+    The delay before retry ``n`` (1-based) starts from
+    ``base_delay_s * multiplier ** (n - 1)``, is jittered by up to
+    ``jitter`` (a fraction, symmetric), and is always clamped to
+    ``max_delay_s``.  Jitter is derived from ``seed`` and the attempt
+    number only, so :meth:`schedule` is deterministic.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Schedule
+    # ------------------------------------------------------------------
+    def base_delay_for(self, attempt: int) -> float:
+        """The pre-jitter delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        return min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+
+    def delay_for(self, attempt: int) -> float:
+        """The jittered, capped delay before retry ``attempt`` (1-based)."""
+        base = self.base_delay_for(attempt)
+        if not self.jitter:
+            return base
+        # Seeding a fresh RNG from (seed, attempt) keeps the jitter a
+        # pure function of the policy, independent of call ordering.
+        unit = random.Random("retry:%d:%d" % (self.seed, attempt)).uniform(-1.0, 1.0)
+        return max(0.0, min(base * (1.0 + self.jitter * unit), self.max_delay_s))
+
+    def base_schedule(self) -> Tuple[float, ...]:
+        """Pre-jitter delays; non-decreasing and capped at the max."""
+        return tuple(self.base_delay_for(n) for n in range(1, self.max_retries + 1))
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full jittered backoff schedule, one entry per retry."""
+        return tuple(self.delay_for(n) for n in range(1, self.max_retries + 1))
+
+    def schedule_within(self, budget_s: float) -> Tuple[float, ...]:
+        """The longest schedule prefix whose total stays within budget."""
+        if budget_s < 0:
+            raise ValueError("budget_s must be non-negative")
+        kept = []
+        total = 0.0
+        for delay in self.schedule():
+            if total + delay > budget_s:
+                break
+            kept.append(delay)
+            total += delay
+        return tuple(kept)
+
+
+class Deadline:
+    """A spend-down time budget for one logical call.
+
+    Simulated costs (backoff delays, per-attempt latency) are charged
+    against the budget; :meth:`try_charge` refuses charges that would
+    overdraw it, and :meth:`charge` raises
+    :class:`~repro.errors.DeadlineError` instead.
+    """
+
+    def __init__(self, budget_s: float) -> None:
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_s = float(budget_s)
+        self.spent_s = 0.0
+
+    @property
+    def remaining_s(self) -> float:
+        return max(0.0, self.budget_s - self.spent_s)
+
+    @property
+    def expired(self) -> bool:
+        return self.spent_s >= self.budget_s
+
+    def try_charge(self, seconds: float) -> bool:
+        """Charge ``seconds`` if the budget allows; report success."""
+        if seconds < 0:
+            raise ValueError("cannot charge a negative duration")
+        if self.spent_s + seconds > self.budget_s:
+            return False
+        self.spent_s += seconds
+        return True
+
+    def charge(self, seconds: float) -> None:
+        if not self.try_charge(seconds):
+            raise DeadlineError(
+                "deadline exhausted: %.3fs charge exceeds %.3fs remaining"
+                % (seconds, self.remaining_s)
+            )
+
+
+class CircuitBreaker:
+    """A deterministic per-endpoint circuit breaker.
+
+    States follow the classic closed -> open -> half-open cycle, but
+    the open state cools down after ``cooldown_rejections`` *rejected
+    calls* rather than elapsed wall-clock time, so behaviour under a
+    seeded simulation replays exactly.  A half-open trial that fails
+    re-opens the breaker; one that succeeds closes it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5, cooldown_rejections: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_rejections < 1:
+            raise ValueError("cooldown_rejections must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_rejections = cooldown_rejections
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.rejections_while_open = 0
+        self.times_opened = 0
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (may transition to half-open)."""
+        if self.state == self.OPEN:
+            self.rejections_while_open += 1
+            if self.rejections_while_open >= self.cooldown_rejections:
+                self.state = self.HALF_OPEN
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self.rejections_while_open = 0
+            self.times_opened += 1
+
+
+class BreakerBoard:
+    """Lazily-created circuit breakers, one per bus target."""
+
+    def __init__(self, failure_threshold: int = 5, cooldown_rejections: int = 8) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_rejections = cooldown_rejections
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, target: str) -> CircuitBreaker:
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown_rejections=self.cooldown_rejections,
+            )
+            self._breakers[target] = breaker
+        return breaker
+
+    def check(self, target: str) -> None:
+        """Raise :class:`~repro.errors.CircuitOpenError` when open."""
+        if not self.breaker(target).allow():
+            raise CircuitOpenError("circuit open for endpoint %r" % target)
+
+    def record_success(self, target: str) -> None:
+        self.breaker(target).record_success()
+
+    def record_failure(self, target: str) -> None:
+        self.breaker(target).record_failure()
+
+    def states(self) -> Dict[str, str]:
+        return {target: b.state for target, b in sorted(self._breakers.items())}
+
+    def open_targets(self) -> Tuple[str, ...]:
+        return tuple(
+            target
+            for target, breaker in sorted(self._breakers.items())
+            if breaker.state != CircuitBreaker.CLOSED
+        )

@@ -15,6 +15,11 @@ from repro.errors import SensorError
 from repro.sensors.base import Observation, Sensor
 from repro.sensors.environment import EnvironmentView
 
+#: A sensing-level interception point: called once per sensor per
+#: sampling pass; returning a truthy value stalls that sensor (it
+#: produces no observations this pass).
+StallPlane = Callable[[Sensor], bool]
+
 
 class SensorSubsystem:
     """A named group of sensors, normally sharing a subsystem label."""
@@ -22,6 +27,19 @@ class SensorSubsystem:
     def __init__(self, name: str) -> None:
         self.name = name
         self._sensors: Dict[str, Sensor] = {}
+        self.stalled_samples = 0
+        self._fault_planes: List[StallPlane] = []
+
+    # ------------------------------------------------------------------
+    # Fault planes
+    # ------------------------------------------------------------------
+    def install_fault_plane(self, plane: StallPlane) -> None:
+        """Attach a sensor-stall plane (see :data:`StallPlane`)."""
+        self._fault_planes.append(plane)
+
+    def remove_fault_plane(self, plane: StallPlane) -> None:
+        if plane in self._fault_planes:
+            self._fault_planes.remove(plane)
 
     def add(self, sensor: Sensor) -> Sensor:
         if sensor.sensor_id in self._sensors:
@@ -78,8 +96,17 @@ class SensorSubsystem:
         return count
 
     def sample_all(self, now: float, environment: EnvironmentView) -> List[Observation]:
-        """Tick every sensor once and gather their observations."""
+        """Tick every sensor once and gather their observations.
+
+        Sensors stalled by an installed fault plane are skipped for this
+        pass (counted in :attr:`stalled_samples`) but stay registered.
+        """
         observations: List[Observation] = []
         for sensor in self._sensors.values():
+            if self._fault_planes and any(
+                plane(sensor) for plane in self._fault_planes
+            ):
+                self.stalled_samples += 1
+                continue
             observations.extend(sensor.sample(now, environment))
         return observations

@@ -16,6 +16,11 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.errors import StorageError
 from repro.sensors.base import Observation
 
+#: A storage-level interception point: called with the write operation
+#: name (``insert``/``forget``) and a detail string; returning a truthy
+#: value fails the write with :class:`~repro.errors.StorageError`.
+WritePlane = Callable[[str, str], bool]
+
 
 class Datastore:
     """In-memory observation streams with windowed queries."""
@@ -25,6 +30,33 @@ class Datastore:
         self._by_subject: Dict[str, List[Observation]] = defaultdict(list)
         self.total_inserted = 0
         self.total_purged = 0
+        self.total_write_failures = 0
+        self._fault_planes: List[WritePlane] = []
+
+    # ------------------------------------------------------------------
+    # Fault planes
+    # ------------------------------------------------------------------
+    def install_fault_plane(self, plane: WritePlane) -> None:
+        """Attach a write-failure plane (see :data:`WritePlane`)."""
+        self._fault_planes.append(plane)
+
+    def remove_fault_plane(self, plane: WritePlane) -> None:
+        if plane in self._fault_planes:
+            self._fault_planes.remove(plane)
+
+    def _guard_write(self, op: str, detail: str) -> None:
+        """Fail the write if any installed plane says so.
+
+        The failure happens *before* any mutation, so a faulted write
+        leaves the store exactly as it was (tests rely on this for the
+        mid-DSAR consistency check).
+        """
+        for plane in self._fault_planes:
+            if plane(op, detail):
+                self.total_write_failures += 1
+                raise StorageError(
+                    "injected write failure: %s %r" % (op, detail)
+                )
 
     # ------------------------------------------------------------------
     # Writes
@@ -35,6 +67,7 @@ class Datastore:
         Streams tolerate slightly out-of-order arrivals by inserting at
         the timestamp-sorted position.
         """
+        self._guard_write("insert", observation.sensor_type)
         stream = self._streams[observation.sensor_type]
         if stream and stream[-1].timestamp > observation.timestamp:
             index = bisect.bisect_right(
@@ -163,6 +196,7 @@ class Datastore:
         The building-side primitive behind a user's full opt-out
         (a right-to-erasure analogue).
         """
+        self._guard_write("forget", subject_id)
         doomed = self._by_subject.pop(subject_id, [])
         doomed_ids = {obs.observation_id for obs in doomed}
         if doomed_ids:

@@ -24,7 +24,7 @@ from repro.core.enforcement.engine import EnforcementEngine
 from repro.core.enforcement.mechanisms import coarsen_space
 from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
 from repro.core.policy.base import DataRequest, DecisionPhase, RequesterKind
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StorageError
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.spatial.model import SpatialModel
 from repro.tippers.inference import InferenceEngine, LocationEstimate
@@ -106,6 +106,23 @@ class RequestManager:
         self.metrics = metrics if metrics is not None else get_registry()
 
     # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    def _degraded(self, method: str, exc: StorageError) -> QueryResponse:
+        """A denied response for a query whose backing store faulted.
+
+        Privacy-sensitive data is never released on a best-effort basis:
+        if the datastore (or an inference over it) fails mid-query, the
+        service gets a denial, not a partial answer.
+        """
+        self.metrics.counter(
+            "tippers_degraded_total", {"method": method}
+        ).inc()
+        return QueryResponse.denied(
+            ("degraded: %s" % exc, "fail-closed deny")
+        )
+
+    # ------------------------------------------------------------------
     # Request construction
     # ------------------------------------------------------------------
     def _request(
@@ -154,7 +171,10 @@ class RequestManager:
         """
         if subject_id not in self._directory:
             raise ServiceError("unknown user %r" % subject_id)
-        estimate = self._inference.locate(subject_id, now)
+        try:
+            estimate = self._inference.locate(subject_id, now)
+        except StorageError as exc:
+            return self._degraded("locate_user", exc)
         request = self._request(
             requester_id,
             requester_kind,
@@ -232,7 +252,10 @@ class RequestManager:
         decision = self._engine.decide(request)
         if not decision.allowed:
             return QueryResponse.denied(decision.resolution.reasons)
-        occupied = self._inference.is_occupied(space_id, now)
+        try:
+            occupied = self._inference.is_occupied(space_id, now)
+        except StorageError as exc:
+            return self._degraded("room_occupancy", exc)
         return QueryResponse(
             allowed=True,
             value=occupied,
@@ -257,7 +280,10 @@ class RequestManager:
         """
         if space_id not in self._spatial:
             raise ServiceError("unknown space %r" % space_id)
-        present = self._inference.people_in(space_id, now)
+        try:
+            present = self._inference.people_in(space_id, now)
+        except StorageError as exc:
+            return self._degraded("people_in_space", exc)
         released: List[str] = []
         reasons: Tuple[str, ...] = ()
         for subject_id in present:
@@ -318,7 +344,10 @@ class RequestManager:
         decision = self._engine.decide(request)
         if not decision.allowed:
             return QueryResponse.denied(decision.resolution.reasons)
-        counts = self._inference.occupancy_map(now, window_s)
+        try:
+            counts = self._inference.occupancy_map(now, window_s)
+        except StorageError as exc:
+            return self._degraded("occupancy_heatmap", exc)
         suppressed: Dict[str, object] = {
             space: count for space, count in counts.items() if count >= k
         }
@@ -372,7 +401,11 @@ class RequestManager:
         if not own_decision.allowed:
             return QueryResponse.denied(own_decision.resolution.reasons)
         released = []
-        for tie in self._social.ties_of(subject_id):
+        try:
+            ties = self._social.ties_of(subject_id)
+        except StorageError as exc:
+            return self._degraded("frequent_contacts", exc)
+        for tie in ties:
             other = tie.user_b if tie.user_a == subject_id else tie.user_a
             other_request = self._request(
                 requester_id,

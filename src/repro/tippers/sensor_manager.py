@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.enforcement.engine import EnforcementEngine
 from repro.core.policy.base import DecisionPhase
-from repro.errors import SensorError
+from repro.errors import SensorError, StorageError
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.sensors.base import Observation, Sensor
 from repro.sensors.drivers import create_sensor
@@ -34,6 +34,7 @@ class CaptureStats:
     dropped_storage: int = 0
     stored: int = 0
     degraded: int = 0
+    write_failures: int = 0
 
     def merge(self, other: "CaptureStats") -> None:
         self.sampled += other.sampled
@@ -41,6 +42,7 @@ class CaptureStats:
         self.dropped_storage += other.dropped_storage
         self.stored += other.stored
         self.degraded += other.degraded
+        self.write_failures += other.write_failures
 
 
 class SensorManager:
@@ -74,6 +76,7 @@ class SensorManager:
             "capture_dropped_total", {"phase": "storage"}
         )
         self._m_degraded = self.metrics.counter("capture_degraded_total")
+        self._m_write_failures = self.metrics.counter("capture_write_failures_total")
         self._m_ticks = self.metrics.counter("capture_ticks_total")
         self._m_tick_seconds = self.metrics.histogram("capture_tick_seconds")
 
@@ -193,6 +196,7 @@ class SensorManager:
         self._m_dropped_capture.inc(tick_stats.dropped_capture)
         self._m_dropped_storage.inc(tick_stats.dropped_storage)
         self._m_degraded.inc(tick_stats.degraded)
+        self._m_write_failures.inc(tick_stats.write_failures)
 
     def _ingest(
         self, observation: Observation, tick_stats: CaptureStats
@@ -215,5 +219,11 @@ class SensorManager:
             if stored.granularity != observation.granularity:
                 tick_stats.degraded += 1
             current = stored
-        self._datastore.insert(current)
+        try:
+            self._datastore.insert(current)
+        except StorageError:
+            # A failed write loses the observation but must not kill
+            # the whole tick: the capture path degrades gracefully.
+            tick_stats.write_failures += 1
+            return None
         return current

@@ -49,6 +49,47 @@ class TestLanguageDocExamples:
         assert preference.condition.time_sensitive
 
 
+class TestResilienceDocExamples:
+    """docs/RESILIENCE.md's fault-plan example must stay loadable."""
+
+    @pytest.fixture(scope="class")
+    def plan_blocks(self):
+        text = (DOCS.parent / "RESILIENCE.md").read_text()
+        blocks = re.findall(r"```json\n(.*?)```", text, re.S)
+        assert blocks, "the resilience doc must contain a fault-plan example"
+        return [json.loads(block) for block in blocks]
+
+    def test_fault_plan_example_parses(self, plan_blocks):
+        from repro.faults import FaultKind, FaultPlan
+
+        plan = FaultPlan.from_dict(plan_blocks[0])
+        assert plan.name == "example-outage"
+        assert plan.seed == 7
+        kinds = {spec.kind for spec in plan.specs}
+        assert FaultKind.CRASH in kinds
+        assert FaultKind.POLICY_FETCH_FAIL in kinds
+
+    def test_documented_defaults_match_the_code(self):
+        from repro.net.resilience import CircuitBreaker, RetryPolicy
+
+        text = (DOCS.parent / "RESILIENCE.md").read_text()
+        policy = RetryPolicy()
+        assert "`max_retries` | %d" % policy.max_retries in text
+        assert "`base_delay_s` | %g" % policy.base_delay_s in text
+        assert "`max_delay_s` | %g" % policy.max_delay_s in text
+        breaker = CircuitBreaker()
+        assert "`failure_threshold = %d`" % breaker.failure_threshold in text
+        assert "`cooldown_rejections = %d`" % breaker.cooldown_rejections in text
+
+    def test_trace_line_example_matches_format(self):
+        from repro.faults import FaultKind, FaultTrace
+
+        text = (DOCS.parent / "RESILIENCE.md").read_text()
+        trace = FaultTrace()
+        event = trace.record(42, "bus", FaultKind.DROP, "irr-1", "method=discover")
+        assert event.line() in text
+
+
 class TestReadmeQuickstart:
     def test_quickstart_code_runs(self):
         """The README's quickstart snippet must execute as written."""

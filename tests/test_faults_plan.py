@@ -1,0 +1,176 @@
+"""Unit tests for fault specs, plans, traces, and the named registry."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    BUS_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultTrace,
+    build_plan,
+    describe_plans,
+    named_plans,
+)
+
+
+class TestFaultSpecValidation:
+    def test_negative_every_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.DROP, every=-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.DROP, start=-1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.DROP, start=5, stop=5)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.DROP, rate=1.5)
+
+    def test_latency_fault_needs_duration(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.LATENCY)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.DROP, latency_s=-1.0)
+
+
+class TestFaultSpecScheduling:
+    def test_at_steps_fires_exactly_there(self):
+        spec = FaultSpec(kind=FaultKind.DROP, at_steps=(2, 5))
+        fires = [s for s in range(8) if spec.scheduled_at(s)]
+        assert fires == [2, 5]
+
+    def test_every_with_phase(self):
+        spec = FaultSpec(kind=FaultKind.DROP, every=3, phase=1)
+        fires = [s for s in range(10) if spec.scheduled_at(s)]
+        assert fires == [1, 4, 7]
+
+    def test_window_bounds_are_half_open(self):
+        spec = FaultSpec(kind=FaultKind.CRASH, start=2, stop=4)
+        assert [s for s in range(6) if spec.in_window(s)] == [2, 3]
+
+    def test_bare_spec_fires_on_every_windowed_step(self):
+        spec = FaultSpec(kind=FaultKind.CRASH, start=1, stop=3)
+        assert spec.unconditional
+        assert all(spec.scheduled_at(s) for s in range(5))
+
+    def test_rate_spec_is_not_unconditional(self):
+        assert not FaultSpec(kind=FaultKind.DROP, rate=0.5).unconditional
+
+    def test_target_matching(self):
+        spec = FaultSpec(kind=FaultKind.DROP, target="irr-1")
+        assert spec.matches_target(("irr-1", "discover"))
+        assert not spec.matches_target(("tippers", "discover"))
+        assert FaultSpec(kind=FaultKind.DROP).matches_target(("anything",))
+
+
+class TestFaultPlanMatching:
+    def test_kind_filter(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.SENSOR_STALL)], seed=0)
+        assert plan.matching(0, BUS_KINDS, ("x",)) == []
+
+    def test_rate_draws_are_deterministic(self):
+        def fire_pattern():
+            plan = FaultPlan([FaultSpec(kind=FaultKind.DROP, rate=0.5)], seed=9)
+            return [bool(plan.matching(s, BUS_KINDS, ("x",))) for s in range(50)]
+
+        first, second = fire_pattern(), fire_pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seeds_differ(self):
+        def pattern(seed):
+            plan = FaultPlan([FaultSpec(kind=FaultKind.DROP, rate=0.5)], seed=seed)
+            return [bool(plan.matching(s, BUS_KINDS, ("x",))) for s in range(64)]
+
+        assert pattern(1) != pattern(2)
+
+    def test_out_of_window_rate_spec_consumes_no_randomness(self):
+        spec = FaultSpec(kind=FaultKind.DROP, rate=0.5, start=100)
+        windowed = FaultPlan([spec], seed=3)
+        for step in range(100):
+            assert windowed.matching(step, BUS_KINDS, ("x",)) == []
+        # The RNG was never consumed, so step 100 onward matches a
+        # fresh plan queried only at those steps.
+        fresh = FaultPlan([spec], seed=3)
+        assert [
+            bool(windowed.matching(s, BUS_KINDS, ("x",))) for s in range(100, 120)
+        ] == [bool(fresh.matching(s, BUS_KINDS, ("x",))) for s in range(100, 120)]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind=FaultKind.DROP, target="irr-1", rate=0.3),
+                FaultSpec(kind=FaultKind.LATENCY, every=5, phase=2, latency_s=0.1),
+                FaultSpec(kind=FaultKind.CRASH, target="tippers", start=3, stop=9),
+            ],
+            seed=42,
+            name="roundtrip",
+        )
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored.name == "roundtrip"
+        assert restored.seed == 42
+        assert restored.specs == plan.specs
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec.from_dict({"kind": "meteor-strike"})
+
+    def test_plan_needs_specs(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict({"name": "empty", "specs": []})
+
+    def test_plan_must_be_object(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict(["not", "a", "plan"])
+
+
+class TestFaultTrace:
+    def test_lines_are_stable_and_ordered(self):
+        trace = FaultTrace()
+        trace.record(3, "bus", FaultKind.DROP, "irr-1", "method=discover")
+        trace.record(7, "datastore", FaultKind.STORE_WRITE_FAIL, "insert")
+        assert trace.lines() == [
+            "step=000003 site=bus kind=drop target=irr-1 method=discover",
+            "step=000007 site=datastore kind=store_write_fail target=insert",
+        ]
+        assert trace.to_text() == "\n".join(trace.lines()) + "\n"
+        assert len(trace) == 2
+        assert trace.counts() == {"drop": 1, "store_write_fail": 1}
+
+
+class TestNamedPlans:
+    def test_registry_is_sorted_and_complete(self):
+        assert named_plans() == (
+            "datastore-brownout",
+            "flaky-registry",
+            "lossy",
+            "monkey",
+            "policy-outage",
+        )
+
+    def test_every_plan_builds_and_roundtrips(self):
+        for name in named_plans():
+            plan = build_plan(name, seed=5)
+            assert plan.name == name
+            assert len(plan) >= 1
+            assert FaultPlan.from_dict(plan.to_dict()).specs == plan.specs
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(FaultError):
+            build_plan("volcano")
+
+    def test_describe_plans_covers_all(self):
+        lines = describe_plans()
+        assert len(lines) == len(named_plans())
+        for name in named_plans():
+            assert any(line.startswith(name + ":") for line in lines)
