@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke lint obs chaos
+.PHONY: test test-fast bench-smoke lint obs chaos recover
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -39,3 +39,16 @@ chaos:
 	          tests/test_enforcement_failclosed.py tests/test_chaos_scenario.py \
 	          tests/test_integration_failures.py tests/property/test_prop_retry.py
 	PYTHONPATH=src $(PYTHON) -m repro chaos --plan monkey --seed 11 --trace
+
+# Durability sweep: the storage test suite, then two same-seed
+# crash+recover runs whose deterministic reports must be byte-identical.
+recover:
+	$(PYTEST) -x -q tests/test_storage_wal.py tests/test_storage_snapshot.py \
+	          tests/test_storage_recovery.py tests/test_storage_durable.py \
+	          tests/property/test_prop_wal.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --recover --plan torn-storage \
+	          --seed 11 --report-out /tmp/repro-recover-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro chaos --recover --plan torn-storage \
+	          --seed 11 --report-out /tmp/repro-recover-b.txt
+	diff /tmp/repro-recover-a.txt /tmp/repro-recover-b.txt
+	PYTHONPATH=src $(PYTHON) -m repro chaos --recover --plan crashy-storage --seed 11

@@ -31,8 +31,8 @@ TICK_SPACING_S = 120.0
 NOON = 12 * 3600.0
 
 
-def build_setup(enforce_capture: bool):
-    tippers = make_dbh_tippers(enforce_capture=enforce_capture)
+def build_setup(enforce_capture: bool, storage=None):
+    tippers = make_dbh_tippers(enforce_capture=enforce_capture, storage=storage)
     rooms = [s.space_id for s in tippers.spatial.spaces_of_type(SpaceType.ROOM)]
     tippers.define_policy(catalog.policy_1_comfort(rooms))
     tippers.define_policy(catalog.policy_2_emergency_location(BUILDING_ID))
@@ -100,6 +100,52 @@ def _run_both():
     enforced = run_ingest(*build_setup(enforce_capture=True))
     raw = run_ingest(*build_setup(enforce_capture=False))
     return enforced, raw
+
+
+def test_scale_ingest_wal_overhead(benchmark, tmp_path):
+    """SCALE-2b: the price of durability -- WAL-on vs WAL-off ingest.
+
+    Both runs enforce capture; the only difference is whether every
+    stored observation is write-ahead-logged first.  The ``storage_*``
+    counters land in the session metric baseline, so with
+    ``REPRO_METRICS_OUT`` set the WAL append/byte counts are exported
+    alongside the throughput numbers for before/after diffing.
+    """
+    from repro.storage.durable import StorageEngine
+
+    engine = StorageEngine(str(tmp_path), segment_bytes=4 * 1024 * 1024)
+
+    def _run_wal_pair():
+        durable = run_ingest(*build_setup(enforce_capture=True, storage=engine))
+        plain = run_ingest(*build_setup(enforce_capture=True))
+        return durable, plain
+
+    durable, plain = benchmark.pedantic(_run_wal_pair, iterations=1, rounds=1)
+    engine.close()
+
+    overhead = (
+        (plain["sampled_per_s"] / durable["sampled_per_s"])
+        if durable["sampled_per_s"]
+        else float("inf")
+    )
+    rows = [
+        "%-24s %12s %12s" % ("", "wal on", "wal off"),
+        "%-24s %12d %12d" % ("observations stored", durable["stored"], plain["stored"]),
+        "%-24s %10.0f/s %10.0f/s"
+        % ("ingest throughput", durable["sampled_per_s"], plain["sampled_per_s"]),
+        "wal frames appended: %d in %d segment(s)"
+        % (engine.wal.appends, len(engine.wal.segment_paths())),
+        "durability overhead: %.2fx" % overhead,
+    ]
+    report("SCALE-2b: enforced ingest, WAL on vs off", rows)
+
+    # Shape assertions.
+    assert durable["stored"] == plain["stored"], "durability must not change policy"
+    assert engine.wal.appends >= durable["stored"], "every store was logged first"
+    assert overhead < 20.0, "the WAL must stay a bounded constant factor"
+
+    benchmark.extra_info["wal_overhead_factor"] = round(overhead, 3)
+    benchmark.extra_info["wal_appends"] = engine.wal.appends
 
 
 def test_scale_ingest_enforced_tick_benchmark(benchmark):

@@ -21,7 +21,14 @@ chaos [--plan NAME] [--seed N] [--population N] [--ticks N] [--json] [--trace]
     Run the compact pipeline under a named fault plan (deterministic
     fault injection) and report delivered/dropped/degraded counts, the
     faults fired, and optionally the full fault trace.  ``--plan list``
-    prints the shipped plans.
+    prints the shipped plans.  With ``--recover``, run the storage
+    crash-recovery scenario instead: crash a storage-backed run via the
+    plan's WAL faults, recover, and check the recovery invariants
+    (exit 1 if any is violated); ``--report-out PATH`` writes the
+    deterministic report text for byte-diffing two same-seed runs.
+recover --dir PATH [--json]
+    Replay an existing storage directory (snapshot + WAL) and print the
+    recovery report without mutating it.
 """
 
 from __future__ import annotations
@@ -199,6 +206,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         for line in describe_plans():
             print(line)
         return 0
+    if args.recover:
+        return _chaos_recover(args)
     try:
         report = run_chaos_scenario(
             plan_name=args.plan,
@@ -218,6 +227,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print()
         print("== fault trace ==")
         sys.stdout.write(report.trace_text)
+    return 0
+
+
+def _chaos_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FaultError
+    from repro.simulation.recover import run_recovery_scenario
+
+    try:
+        report = run_recovery_scenario(
+            plan_name=args.plan if args.plan != "monkey" else "torn-storage",
+            seed=args.seed,
+            population=args.population,
+            ticks=args.ticks,
+        )
+    except FaultError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(report.report_text)
+    if args.report_out:
+        try:
+            with open(args.report_out, "w") as handle:
+                handle.write(report.report_text)
+        except OSError as error:
+            print("error: cannot write %s: %s" % (args.report_out, error),
+                  file=sys.stderr)
+            return 2
+    return 0 if report.ok else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import StorageError
+    from repro.storage.recovery import recover
+
+    try:
+        state = recover(args.dir)
+    except StorageError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(state.report.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(state.report.to_text())
     return 0
 
 
@@ -290,7 +348,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="print the report as JSON")
     chaos.add_argument("--trace", action="store_true",
                        help="also print the full fault trace")
+    chaos.add_argument(
+        "--recover", action="store_true",
+        help="run the crash-recovery scenario (default plan: torn-storage)",
+    )
+    chaos.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="with --recover: also write the deterministic report text here",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    recover = subparsers.add_parser(
+        "recover", help="replay a storage directory and print the recovery report"
+    )
+    recover.add_argument("--dir", required=True,
+                         help="storage directory (MANIFEST.json + wal-*.seg)")
+    recover.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+    recover.set_defaults(func=_cmd_recover)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -62,5 +62,15 @@ class StorageError(ReproError):
     """Datastore failure (unknown stream, bad query window)."""
 
 
+class SimulatedCrash(ReproError):
+    """A fault-injected process crash (the chaos ``--recover`` harness).
+
+    Deliberately *not* a :class:`StorageError`: graceful-degradation
+    paths that absorb storage failures must not absorb a crash -- it has
+    to propagate to the top of the run, killing the simulated process so
+    recovery can be exercised.
+    """
+
+
 class AnalysisError(ReproError):
     """Static-analysis misuse (unknown rule ids, unreadable paths)."""

@@ -14,6 +14,7 @@ from repro.faults.plan import (
     DATASTORE_KINDS,
     POLICY_KINDS,
     SENSOR_KINDS,
+    WAL_KINDS,
     FaultEvent,
     FaultKind,
     FaultPlan,
@@ -27,6 +28,7 @@ __all__ = [
     "DATASTORE_KINDS",
     "POLICY_KINDS",
     "SENSOR_KINDS",
+    "WAL_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

@@ -27,6 +27,7 @@ from repro.faults.plan import (
     DATASTORE_KINDS,
     POLICY_KINDS,
     SENSOR_KINDS,
+    WAL_KINDS,
     FaultKind,
     FaultPlan,
     FaultSpec,
@@ -46,6 +47,7 @@ class FaultInjector:
         self._datastores: List[Any] = []
         self._subsystems: List[Any] = []
         self._policy_stores: List[Tuple[Any, Any]] = []
+        self._storage_engines: List[Any] = []
 
     @property
     def step(self) -> int:
@@ -91,6 +93,22 @@ class FaultInjector:
             self.trace.record(step, "datastore", spec.kind, op, "detail=%s" % detail)
         return bool(fired)
 
+    def _wal_plane(self, op: str, record_type: str) -> Optional[str]:
+        """Durability plane: one step per WAL append.
+
+        Returning a kind value makes the log crash the simulated
+        process (see :data:`repro.storage.wal.WalPlane`); the WAL
+        decides whether the frame lands partially (``torn_write``) or
+        completely (``crash_mid_append``).
+        """
+        step = self._advance()
+        fired = self.plan.matching(step, WAL_KINDS, (op, record_type))
+        if not fired:
+            return None
+        spec = fired[0]
+        self.trace.record(step, "wal", spec.kind, record_type or op)
+        return spec.kind.value
+
     def _sensor_plane(self, sensor: Any) -> bool:
         """Sensing plane: one step per sensor sample; True stalls it."""
         step = self._advance()
@@ -124,6 +142,11 @@ class FaultInjector:
         """
         for subsystem in manager.subsystems():
             self.install_subsystem(subsystem)
+
+    def install_storage_engine(self, engine: Any) -> None:
+        """Route WAL appends through the plan (torn writes, crashes)."""
+        engine.install_fault_plane(self._wal_plane)
+        self._storage_engines.append(engine)
 
     def install_policy_store(self, store: Any) -> None:
         """Make the store's policy fetches fault per the plan.
@@ -161,10 +184,13 @@ class FaultInjector:
             subsystem.remove_fault_plane(self._sensor_plane)
         for store, original in self._policy_stores:
             store.candidate_policies = original
+        for engine in self._storage_engines:
+            engine.remove_fault_plane(self._wal_plane)
         del self._buses[:]
         del self._datastores[:]
         del self._subsystems[:]
         del self._policy_stores[:]
+        del self._storage_engines[:]
 
 
 def single_spec_plan(spec: FaultSpec, seed: int = 0, name: str = "single") -> FaultPlan:

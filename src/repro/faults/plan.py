@@ -47,6 +47,14 @@ class FaultKind(enum.Enum):
     """Rule store: fetching candidate policies fails (the enforcement
     engine must fail closed)."""
 
+    TORN_WRITE = "torn_write"
+    """WAL: the process crashes mid-write, leaving a partial frame on
+    disk; the record is lost and recovery truncates the tear."""
+
+    CRASH_MID_APPEND = "crash_mid_append"
+    """WAL: the process crashes after the frame is durable but before
+    the in-memory apply; recovery replays the record."""
+
 
 #: Which fault kinds each injection site consumes.
 BUS_KINDS = frozenset(
@@ -55,6 +63,7 @@ BUS_KINDS = frozenset(
 DATASTORE_KINDS = frozenset({FaultKind.STORE_WRITE_FAIL})
 SENSOR_KINDS = frozenset({FaultKind.SENSOR_STALL})
 POLICY_KINDS = frozenset({FaultKind.POLICY_FETCH_FAIL})
+WAL_KINDS = frozenset({FaultKind.TORN_WRITE, FaultKind.CRASH_MID_APPEND})
 
 
 @dataclass(frozen=True)

@@ -81,12 +81,42 @@ def _monkey(seed: int) -> FaultPlan:
     )
 
 
+def _torn_storage(seed: int) -> FaultPlan:
+    """A torn write mid-run: the WAL loses the record being written.
+
+    The window ``start=200`` (no schedule, no rate) fires on the first
+    WAL append at or past logical step 200 -- step numbers are shared
+    across sites, so an exact ``at_steps`` might never land on a WAL
+    append.  A sprinkle of plain write failures keeps the degraded-path
+    accounting honest before the crash.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(kind=FaultKind.STORE_WRITE_FAIL, target="insert", every=37),
+            FaultSpec(kind=FaultKind.TORN_WRITE, start=200),
+        ],
+        seed=seed,
+        name="torn-storage",
+    )
+
+
+def _crashy_storage(seed: int) -> FaultPlan:
+    """A crash just after an append: the frame is durable, memory is not."""
+    return FaultPlan(
+        [FaultSpec(kind=FaultKind.CRASH_MID_APPEND, start=260)],
+        seed=seed,
+        name="crashy-storage",
+    )
+
+
 _BUILDERS: Dict[str, Callable[[int], FaultPlan]] = {
     "lossy": _lossy,
     "flaky-registry": _flaky_registry,
     "datastore-brownout": _datastore_brownout,
     "policy-outage": _policy_outage,
     "monkey": _monkey,
+    "torn-storage": _torn_storage,
+    "crashy-storage": _crashy_storage,
 }
 
 

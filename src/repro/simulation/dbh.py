@@ -10,11 +10,14 @@ readers on meeting rooms for Policy 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.reasoner.resolution import ResolutionStrategy
 from repro.spatial.model import SpaceType, SpatialModel, build_simple_building
 from repro.tippers.bms import TIPPERS
+
+if TYPE_CHECKING:
+    from repro.storage.durable import StorageEngine
 
 BUILDING_ID = "dbh"
 FLOORS = 6
@@ -118,6 +121,7 @@ def make_dbh_tippers(
     enforce_capture: bool = True,
     deploy_sensors: bool = True,
     cache_decisions: bool = False,
+    storage: Optional["StorageEngine"] = None,
 ) -> TIPPERS:
     """A ready DBH TIPPERS instance (no policies defined yet)."""
     spatial = build_dbh_spatial()
@@ -129,6 +133,7 @@ def make_dbh_tippers(
         owner_more_info="https://www.ics.uci.edu/about/bren_hall",
         enforce_capture=enforce_capture,
         cache_decisions=cache_decisions,
+        storage=storage,
     )
     if deploy_sensors:
         deploy_dbh_sensors(tippers)

@@ -1,0 +1,57 @@
+"""The logical records carried inside WAL frames.
+
+A record is ``(type, data)`` where ``data`` is a JSON-compatible dict.
+The wire form is canonical compact JSON (sorted keys), so a given
+logical record always encodes to the same bytes -- which is what makes
+same-seed chaos runs produce byte-identical logs.
+
+Record types:
+
+======================  ================================================
+``obs``                 one stored observation (``Observation.to_dict``)
+``erase``               a DSAR erasure of every observation of a subject
+``audit``               one enforcement decision (audit record dict)
+``pref``                a submitted user preference (latest wins per id)
+``pref_withdraw_all``   all of a user's preferences were withdrawn
+======================  ================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from repro.errors import StorageError
+
+OBS = "obs"
+ERASE = "erase"
+AUDIT = "audit"
+PREF = "pref"
+PREF_WITHDRAW_ALL = "pref_withdraw_all"
+
+RECORD_TYPES = (OBS, ERASE, AUDIT, PREF, PREF_WITHDRAW_ALL)
+
+
+def encode_record(record_type: str, data: Dict[str, Any]) -> bytes:
+    """The canonical payload bytes for one logical record."""
+    if record_type not in RECORD_TYPES:
+        raise StorageError("unknown record type %r" % record_type)
+    return json.dumps(
+        {"t": record_type, "d": data},
+        separators=(",", ":"),
+        sort_keys=True,
+        allow_nan=False,
+    ).encode("utf-8")
+
+
+def decode_record(payload: bytes) -> Tuple[str, Dict[str, Any]]:
+    """Parse one record payload; raises :class:`StorageError` on garbage."""
+    try:
+        envelope = json.loads(payload.decode("utf-8"))
+        record_type = envelope["t"]
+        data = envelope["d"]
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise StorageError("malformed storage record: %s" % exc) from None
+    if record_type not in RECORD_TYPES or not isinstance(data, dict):
+        raise StorageError("malformed storage record envelope")
+    return record_type, data

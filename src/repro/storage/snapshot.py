@@ -1,0 +1,223 @@
+"""Snapshot + compaction: folding sealed WAL segments away.
+
+A snapshot is the materialized state at a *watermark* LSN, stored as
+three JSON-lines files named by that LSN, plus ``MANIFEST.json``
+pointing at it::
+
+    {"format": 1, "snapshot_lsn": 1042}
+
+Compaction replays the current snapshot plus every sealed segment into
+fresh in-memory state, writes the new snapshot files atomically, moves
+the manifest forward, and only then deletes what was folded.  A crash
+at any point leaves either the old manifest (old snapshot + segments
+intact: nothing lost) or the new manifest (new snapshot complete:
+leftover files are garbage, collected by the next compaction).
+
+Erasure interaction -- the DSAR guarantee: an ``erase`` record in the
+log makes the replay *physically drop* every earlier observation of
+that subject, so after compaction the erased data exists nowhere on
+disk: not in the snapshot (it was folded out) and not in the segments
+(they were deleted).  Recovery can therefore never resurrect it.
+
+Retention interaction: when given the building's retention map and the
+current time, compaction sweeps expired observations out of the new
+snapshot as well.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import StorageError
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = 1
+
+OBS_SNAPSHOT_PATTERN = "snapshot-%016d.obs.jsonl"
+AUDIT_SNAPSHOT_PATTERN = "snapshot-%016d.audit.jsonl"
+PREFS_SNAPSHOT_PATTERN = "snapshot-%016d.prefs.jsonl"
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The durable watermark: state at ``snapshot_lsn`` is snapshotted."""
+
+    snapshot_lsn: int = 0
+    format: int = MANIFEST_FORMAT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"format": self.format, "snapshot_lsn": self.snapshot_lsn}
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def read_manifest(directory: str) -> Manifest:
+    """The directory's manifest; a missing file means a fresh store."""
+    path = manifest_path(directory)
+    if not os.path.exists(path):
+        return Manifest()
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+        manifest = Manifest(
+            snapshot_lsn=int(data["snapshot_lsn"]), format=int(data["format"])
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise StorageError("corrupt manifest %s: %s" % (path, exc)) from None
+    if manifest.format != MANIFEST_FORMAT:
+        raise StorageError(
+            "unsupported storage format %d in %s" % (manifest.format, path)
+        )
+    if manifest.snapshot_lsn < 0:
+        raise StorageError("negative snapshot_lsn in %s" % path)
+    return manifest
+
+
+def write_manifest(directory: str, manifest: Manifest) -> None:
+    """Atomically persist ``manifest`` (temp file + rename)."""
+    path = manifest_path(directory)
+    temp_path = path + ".tmp"
+    with open(temp_path, "w") as handle:
+        json.dump(manifest.to_dict(), handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+
+
+def snapshot_paths(directory: str, snapshot_lsn: int) -> Dict[str, str]:
+    """The three snapshot file paths for a watermark LSN."""
+    return {
+        "obs": os.path.join(directory, OBS_SNAPSHOT_PATTERN % snapshot_lsn),
+        "audit": os.path.join(directory, AUDIT_SNAPSHOT_PATTERN % snapshot_lsn),
+        "prefs": os.path.join(directory, PREFS_SNAPSHOT_PATTERN % snapshot_lsn),
+    }
+
+
+def save_preferences(preferences: List[Dict[str, Any]], path: str) -> int:
+    """Snapshot preference dicts (one JSON object per line), atomically."""
+    temp_path = path + ".tmp"
+    count = 0
+    with open(temp_path, "w") as handle:
+        for data in preferences:
+            handle.write(json.dumps(data, separators=(",", ":"), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    os.replace(temp_path, path)
+    return count
+
+
+def load_preferences(path: str) -> List[Dict[str, Any]]:
+    """Load a preference snapshot (torn final line tolerated)."""
+    from repro.tippers.persistence import _iter_data_lines, _report_torn_tail
+
+    preferences: List[Dict[str, Any]] = []
+    for line_no, line, is_final in _iter_data_lines(path):
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise StorageError("preference line is not an object")
+        except (json.JSONDecodeError, StorageError) as exc:
+            wrapped = exc if isinstance(exc, StorageError) else StorageError(str(exc))
+            if is_final:
+                _report_torn_tail(path, line_no, wrapped, None)
+                break
+            raise StorageError(
+                "%s (line %d of %s)" % (wrapped, line_no, path)
+            ) from None
+        preferences.append(data)
+    return preferences
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass folded."""
+
+    snapshot_lsn: int = 0
+    segments_folded: int = 0
+    frames_folded: int = 0
+    observations_snapshotted: int = 0
+    audit_snapshotted: int = 0
+    preferences_snapshotted: int = 0
+    erasures_folded: int = 0
+    erased_observations_dropped: int = 0
+    retention_purged: int = 0
+    obsolete_files_removed: int = 0
+    folded_segments: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "snapshot_lsn": self.snapshot_lsn,
+            "segments_folded": self.segments_folded,
+            "frames_folded": self.frames_folded,
+            "observations_snapshotted": self.observations_snapshotted,
+            "audit_snapshotted": self.audit_snapshotted,
+            "preferences_snapshotted": self.preferences_snapshotted,
+            "erasures_folded": self.erasures_folded,
+            "erased_observations_dropped": self.erased_observations_dropped,
+            "retention_purged": self.retention_purged,
+            "obsolete_files_removed": self.obsolete_files_removed,
+            "folded_segments": list(self.folded_segments),
+        }
+
+
+def _collect_garbage(directory: str, keep_lsn: int, report: CompactionReport) -> None:
+    """Delete snapshot files for watermarks other than ``keep_lsn``."""
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("snapshot-") and name.endswith(".jsonl")):
+            continue
+        try:
+            lsn = int(name.split("-", 1)[1].split(".", 1)[0])
+        except (ValueError, IndexError):
+            continue
+        if lsn != keep_lsn:
+            os.remove(os.path.join(directory, name))
+            report.obsolete_files_removed += 1
+
+
+def compact_engine(
+    engine: Any,
+    retention_by_type: Optional[Dict[str, float]] = None,
+    now: Optional[float] = None,
+) -> CompactionReport:
+    """Fold the engine's sealed segments into a fresh snapshot.
+
+    ``engine`` is a :class:`~repro.storage.durable.StorageEngine`
+    (duck-typed to avoid an import cycle).  The active segment is
+    rotated first, so every frame written so far is folded and the
+    post-compaction log starts empty.
+    """
+    from repro.storage.recovery import replay_directory
+    from repro.tippers.persistence import save_audit, save_datastore
+
+    directory = engine.directory
+    engine.wal.rotate()
+    state = replay_directory(directory)
+    report = CompactionReport(
+        frames_folded=state.report.frames_replayed,
+        erasures_folded=state.report.erasures_applied,
+        erased_observations_dropped=state.report.erased_observations,
+    )
+    if retention_by_type and now is not None:
+        report.retention_purged = state.datastore.sweep(now, retention_by_type)
+
+    new_lsn = max(state.report.last_lsn, state.report.snapshot_lsn)
+    paths = snapshot_paths(directory, new_lsn)
+    report.snapshot_lsn = new_lsn
+    report.observations_snapshotted = save_datastore(state.datastore, paths["obs"])
+    report.audit_snapshotted = save_audit(state.audit, paths["audit"])
+    report.preferences_snapshotted = save_preferences(
+        state.preferences, paths["prefs"]
+    )
+    write_manifest(directory, Manifest(snapshot_lsn=new_lsn))
+
+    # The watermark has moved: everything it folded is now garbage.
+    for path in engine.wal.sealed_paths():
+        report.folded_segments.append(os.path.basename(path))
+        os.remove(path)
+    report.segments_folded = len(report.folded_segments)
+    _collect_garbage(directory, new_lsn, report)
+    return report

@@ -11,7 +11,7 @@ selections, and (for services) the query methods.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core.enforcement.audit import AuditLog
 from repro.core.enforcement.cache import CachingEnforcementEngine
@@ -42,6 +42,10 @@ from repro.tippers.sensor_manager import CaptureStats, SensorManager
 from repro.tippers.social import SocialInference
 from repro.users.profile import UserDirectory, UserProfile
 
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.storage.durable import StorageEngine
+    from repro.storage.recovery import RecoveryReport
+
 
 class TIPPERS(Endpoint):
     """The privacy-aware building management system."""
@@ -60,6 +64,7 @@ class TIPPERS(Endpoint):
         enforce_capture: bool = True,
         cache_decisions: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        storage: Optional["StorageEngine"] = None,
     ) -> None:
         if building_id not in spatial:
             raise PolicyError("unknown building %r" % building_id)
@@ -72,15 +77,26 @@ class TIPPERS(Endpoint):
             spatial=spatial, user_profiles=self.directory.group_map()
         )
         self.store: RuleStore = store if store is not None else PolicyIndex()
+        #: When set, observations, audit records, and preferences are
+        #: write-ahead-logged and survive a crash (see repro.storage).
+        self.storage = storage
+        audit: Optional[AuditLog] = None
+        if storage is not None:
+            from repro.storage.durable import DurableAuditLog, DurableDatastore
+
+            audit = DurableAuditLog(storage, metrics=self.metrics)
+            self.datastore: Datastore = DurableDatastore(storage)
+        else:
+            self.datastore = Datastore()
         engine_cls = CachingEnforcementEngine if cache_decisions else EnforcementEngine
         self.engine = engine_cls(
             store=self.store,
             context=self.context,
             strategy=strategy,
             ontology=self.ontology,
+            audit=audit,
             metrics=self.metrics,
         )
-        self.datastore = Datastore()
         self.sensor_manager = SensorManager(
             self.engine,
             self.datastore,
@@ -98,7 +114,12 @@ class TIPPERS(Endpoint):
             settings_space=settings_space,
         )
         self.preference_manager = PreferenceManager(
-            self.store, self.policy_manager, self.directory, self.context
+            self.store,
+            self.policy_manager,
+            self.directory,
+            self.context,
+            on_submit=None if storage is None else storage.log_preference,
+            on_withdraw_all=None if storage is None else storage.log_withdraw_all,
         )
         self.inference = InferenceEngine(self.datastore, spatial)
         self.social = SocialInference(self.datastore)
@@ -147,6 +168,39 @@ class TIPPERS(Endpoint):
         return self.datastore.sweep(
             now, self.policy_manager.retention_by_sensor_type()
         )
+
+    def recover(self, now: float) -> "RecoveryReport":
+        """Rebuild state from this TIPPERS' storage directory.
+
+        Must run on a freshly constructed, storage-backed instance
+        (policies and users re-defined, no observations captured yet):
+        the replay loads observations and audit into the live durable
+        structures and re-submits recovered preferences, then sweeps
+        retention for anything that expired while the process was down.
+        """
+        if self.storage is None:
+            raise PolicyError("recover() needs a storage-backed TIPPERS")
+        if self.datastore.count() or len(self.engine.audit):
+            raise PolicyError("recover() must run before any capture")
+        from repro.storage.recovery import recover as recover_storage
+
+        self.storage.replaying = True
+        try:
+            state = recover_storage(
+                self.storage.directory,
+                into_datastore=self.datastore,
+                into_audit=self.engine.audit,
+                retention_by_type=self.policy_manager.retention_by_sensor_type(),
+                now=now,
+            )
+            # Preferences flow back through the manager so the rule
+            # store and conflict detection see them; ``replaying``
+            # keeps the round trip from re-logging.
+            for data in state.preferences:
+                self.preference_manager.submit(preference_from_dict(data))
+        finally:
+            self.storage.replaying = False
+        return state.report
 
     def run_comfort_control(self, now: float) -> int:
         """Execute actuation rules (Policy 1's pipeline)."""

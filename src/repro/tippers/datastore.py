@@ -68,6 +68,14 @@ class Datastore:
         the timestamp-sorted position.
         """
         self._guard_write("insert", observation.sensor_type)
+        self._apply_insert(observation)
+
+    def _apply_insert(self, observation: Observation) -> None:
+        """The mutation half of :meth:`insert` (no write guard).
+
+        Durable backends call the guard, then write-ahead-log the
+        observation, then apply; recovery replay applies directly.
+        """
         stream = self._streams[observation.sensor_type]
         if stream and stream[-1].timestamp > observation.timestamp:
             index = bisect.bisect_right(
@@ -197,6 +205,10 @@ class Datastore:
         (a right-to-erasure analogue).
         """
         self._guard_write("forget", subject_id)
+        return self._apply_forget(subject_id)
+
+    def _apply_forget(self, subject_id: str) -> int:
+        """The mutation half of :meth:`forget_subject` (no write guard)."""
         doomed = self._by_subject.pop(subject_id, [])
         doomed_ids = {obs.observation_id for obs in doomed}
         if doomed_ids:

@@ -81,6 +81,7 @@ class ErasureReceipt:
     erased_observations: int
     withdrawn_preferences: int
     performed_at: float
+    storage_compacted: bool = False
 
 
 def subject_access_report(tippers: TIPPERS, user_id: str, now: float) -> SubjectAccessReport:
@@ -127,6 +128,7 @@ def erase_subject(
     user_id: str,
     now: float,
     withdraw_preferences: bool = False,
+    compact_storage: bool = False,
 ) -> ErasureReceipt:
     """Erase the user's stored observations (and optionally preferences).
 
@@ -134,6 +136,13 @@ def erase_subject(
     storage-phase decision with an explanatory reason, so the trail of
     *that the data existed and was erased* survives, while the data
     does not.
+
+    On a storage-backed TIPPERS the erase record is write-ahead-logged,
+    so recovery replays it and never resurrects the erased data.  With
+    ``compact_storage`` the storage engine is compacted immediately
+    after, which *physically* removes the erased observations from
+    disk instead of leaving them in WAL segments awaiting the next
+    compaction.
     """
     if user_id not in tippers.directory:
         raise PolicyError("unknown user %r" % user_id)
@@ -157,9 +166,17 @@ def erase_subject(
             notify_user=False,
         )
     )
+    compacted = False
+    if compact_storage and tippers.storage is not None:
+        tippers.storage.compact(
+            retention_by_type=tippers.policy_manager.retention_by_sensor_type(),
+            now=now,
+        )
+        compacted = True
     return ErasureReceipt(
         user_id=user_id,
         erased_observations=erased,
         withdrawn_preferences=withdrawn,
         performed_at=now,
+        storage_compacted=compacted,
     )

@@ -8,20 +8,33 @@ greppable, and append-friendly.
 Round-trip fidelity is exact: ``load_datastore(save_datastore(ds))``
 reproduces every observation (ids, payloads, attribution, granularity
 labels) and the audit loader reproduces every decision record.
+
+Torn tails: a crash while a line was being written can leave a partial
+*final* record.  The loaders tolerate it -- the broken final line is
+skipped, reported through the optional ``on_torn_tail`` callback, and
+counted in the ``persistence_torn_tail_total`` metric -- matching the
+WAL's torn-tail semantics (see :mod:`repro.storage.wal`).  A malformed
+line *followed by* further data is real corruption, not a tear, and
+still raises :class:`~repro.errors.StorageError`.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Iterable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.enforcement.audit import AuditLog, AuditRecord
 from repro.core.language.vocabulary import GranularityLevel
 from repro.core.policy.base import DecisionPhase, Effect
 from repro.errors import StorageError
+from repro.obs.metrics import get_registry
 from repro.sensors.base import Observation
 from repro.tippers.datastore import Datastore
+
+#: Called with a human-readable message when a loader skips a torn
+#: final record instead of raising.
+TornTailCallback = Callable[[str], None]
 
 
 # ----------------------------------------------------------------------
@@ -31,9 +44,8 @@ def observation_to_json(observation: Observation) -> str:
     return json.dumps(observation.to_dict(), separators=(",", ":"), allow_nan=False)
 
 
-def observation_from_json(line: str) -> Observation:
+def observation_from_dict(data: Dict[str, Any]) -> Observation:
     try:
-        data = json.loads(line)
         return Observation(
             observation_id=data["observation_id"],
             sensor_id=data["sensor_id"],
@@ -44,8 +56,18 @@ def observation_from_json(line: str) -> Observation:
             subject_id=data.get("subject_id"),
             granularity=data.get("granularity", "precise"),
         )
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+    except (KeyError, TypeError) as exc:
+        raise StorageError("malformed observation record: %s" % exc) from None
+
+
+def observation_from_json(line: str) -> Observation:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
         raise StorageError("malformed observation line: %s" % exc) from None
+    if not isinstance(data, dict):
+        raise StorageError("malformed observation line: not an object")
+    return observation_from_dict(data)
 
 
 def save_datastore(datastore: Datastore, path: str) -> int:
@@ -66,46 +88,83 @@ def save_datastore(datastore: Datastore, path: str) -> int:
     return count
 
 
-def load_datastore(path: str, into: Optional[Datastore] = None) -> Datastore:
-    """Rebuild a datastore from a snapshot file."""
-    datastore = into if into is not None else Datastore()
+def _iter_data_lines(path: str) -> List[Tuple[int, str, bool]]:
+    """Non-empty lines of ``path`` as ``(line_no, text, is_final)``."""
     with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                datastore.insert(observation_from_json(line))
-            except StorageError as exc:
-                raise StorageError("%s (line %d of %s)" % (exc, line_no, path)) from None
+        raw = handle.read()
+    numbered = [
+        (line_no, line.strip())
+        for line_no, line in enumerate(raw.splitlines(), start=1)
+    ]
+    data = [(line_no, text) for line_no, text in numbered if text]
+    return [
+        (line_no, text, index == len(data) - 1)
+        for index, (line_no, text) in enumerate(data)
+    ]
+
+
+def _report_torn_tail(
+    path: str, line_no: int, error: StorageError,
+    on_torn_tail: Optional[TornTailCallback],
+) -> None:
+    get_registry().counter("persistence_torn_tail_total").inc()
+    if on_torn_tail is not None:
+        on_torn_tail(
+            "torn final record skipped (line %d of %s): %s" % (line_no, path, error)
+        )
+
+
+def load_datastore(
+    path: str,
+    into: Optional[Datastore] = None,
+    on_torn_tail: Optional[TornTailCallback] = None,
+) -> Datastore:
+    """Rebuild a datastore from a snapshot file.
+
+    A malformed *final* record is treated as a torn tail: skipped and
+    reported (callback + metric) rather than raised, so a snapshot cut
+    short by a crash still restores its valid prefix.
+    """
+    datastore = into if into is not None else Datastore()
+    for line_no, line, is_final in _iter_data_lines(path):
+        try:
+            # Base-class call: loading into a durable datastore must
+            # not write-ahead-log what is already durable.
+            Datastore.insert(datastore, observation_from_json(line))
+        except StorageError as exc:
+            if is_final:
+                _report_torn_tail(path, line_no, exc, on_torn_tail)
+                break
+            raise StorageError("%s (line %d of %s)" % (exc, line_no, path)) from None
     return datastore
 
 
 # ----------------------------------------------------------------------
 # Audit log
 # ----------------------------------------------------------------------
+def audit_record_to_dict(record: AuditRecord) -> Dict[str, Any]:
+    return {
+        "timestamp": record.timestamp,
+        "requester_id": record.requester_id,
+        "phase": record.phase.value,
+        "category": record.category,
+        "subject_id": record.subject_id,
+        "space_id": record.space_id,
+        "effect": record.effect.value,
+        "granularity": record.granularity.value,
+        "reasons": list(record.reasons),
+        "notify_user": record.notify_user,
+    }
+
+
 def audit_record_to_json(record: AuditRecord) -> str:
     return json.dumps(
-        {
-            "timestamp": record.timestamp,
-            "requester_id": record.requester_id,
-            "phase": record.phase.value,
-            "category": record.category,
-            "subject_id": record.subject_id,
-            "space_id": record.space_id,
-            "effect": record.effect.value,
-            "granularity": record.granularity.value,
-            "reasons": list(record.reasons),
-            "notify_user": record.notify_user,
-        },
-        separators=(",", ":"),
-        allow_nan=False,
+        audit_record_to_dict(record), separators=(",", ":"), allow_nan=False
     )
 
 
-def audit_record_from_json(line: str) -> AuditRecord:
+def audit_record_from_dict(data: Dict[str, Any]) -> AuditRecord:
     try:
-        data = json.loads(line)
         return AuditRecord(
             timestamp=data["timestamp"],
             requester_id=data["requester_id"],
@@ -118,8 +177,18 @@ def audit_record_from_json(line: str) -> AuditRecord:
             reasons=tuple(data.get("reasons", ())),
             notify_user=data.get("notify_user", False),
         )
-    except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StorageError("malformed audit record: %s" % exc) from None
+
+
+def audit_record_from_json(line: str) -> AuditRecord:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
         raise StorageError("malformed audit line: %s" % exc) from None
+    if not isinstance(data, dict):
+        raise StorageError("malformed audit line: not an object")
+    return audit_record_from_dict(data)
 
 
 def save_audit(audit: AuditLog, path: str) -> int:
@@ -134,15 +203,19 @@ def save_audit(audit: AuditLog, path: str) -> int:
     return count
 
 
-def load_audit(path: str, into: Optional[AuditLog] = None) -> AuditLog:
+def load_audit(
+    path: str,
+    into: Optional[AuditLog] = None,
+    on_torn_tail: Optional[TornTailCallback] = None,
+) -> AuditLog:
+    """Rebuild an audit log from a snapshot file (torn tail tolerated)."""
     audit = into if into is not None else AuditLog()
-    with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                audit.append(audit_record_from_json(line))
-            except StorageError as exc:
-                raise StorageError("%s (line %d of %s)" % (exc, line_no, path)) from None
+    for line_no, line, is_final in _iter_data_lines(path):
+        try:
+            AuditLog.append(audit, audit_record_from_json(line))
+        except StorageError as exc:
+            if is_final:
+                _report_torn_tail(path, line_no, exc, on_torn_tail)
+                break
+            raise StorageError("%s (line %d of %s)" % (exc, line_no, path)) from None
     return audit

@@ -10,7 +10,7 @@ translates setting selections into preferences.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.policy.conditions import EvaluationContext
 from repro.core.policy.preference import ServicePermission, UserPreference
@@ -30,6 +30,8 @@ class PreferenceManager:
         policy_manager: PolicyManager,
         directory: UserDirectory,
         context: Optional[EvaluationContext] = None,
+        on_submit: Optional[Callable[[UserPreference], object]] = None,
+        on_withdraw_all: Optional[Callable[[str], object]] = None,
     ) -> None:
         self._store = store
         self._policy_manager = policy_manager
@@ -37,6 +39,11 @@ class PreferenceManager:
         self._context = context if context is not None else EvaluationContext()
         self._by_user: Dict[str, Dict[str, UserPreference]] = defaultdict(dict)
         self._selections: Dict[str, Dict[str, str]] = {}
+        # Durability hooks (see repro.storage): called after validation
+        # but before the store mutation -- write-ahead ordering, same
+        # as the durable datastore.
+        self._on_submit = on_submit
+        self._on_withdraw_all = on_withdraw_all
 
     # ------------------------------------------------------------------
     # Submission
@@ -52,6 +59,8 @@ class PreferenceManager:
         """
         if preference.user_id not in self._directory:
             raise PolicyError("unknown user %r" % preference.user_id)
+        if self._on_submit is not None:
+            self._on_submit(preference)
         self._by_user[preference.user_id][preference.preference_id] = preference
         self._store.add_preference(preference)
         return detect_conflicts(
@@ -69,12 +78,21 @@ class PreferenceManager:
                 "user %r has no preference %r" % (user_id, preference_id)
             )
         del user_prefs[preference_id]
+        # The log has no single-withdrawal record; mirror the store
+        # rebuild below as withdraw-all + re-submit of what remains.
+        if self._on_withdraw_all is not None:
+            self._on_withdraw_all(user_id)
+        if self._on_submit is not None:
+            for preference in user_prefs.values():
+                self._on_submit(preference)
         # The store indexes by preference id; rebuild the user's entry.
         self._store.remove_preferences_of(user_id)
         for preference in user_prefs.values():
             self._store.add_preference(preference)
 
     def withdraw_all(self, user_id: str) -> int:
+        if self._on_withdraw_all is not None:
+            self._on_withdraw_all(user_id)
         count = len(self._by_user.pop(user_id, {}))
         self._store.remove_preferences_of(user_id)
         self._selections.pop(user_id, None)

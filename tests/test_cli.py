@@ -31,6 +31,68 @@ class TestCLI:
             main(["frobnicate"])
 
 
+class TestRecoverCommands:
+    def seed_directory(self, tmp_path):
+        from repro.sensors.base import Observation
+        from repro.storage import DurableDatastore, StorageEngine
+
+        engine = StorageEngine(str(tmp_path))
+        datastore = DurableDatastore(engine)
+        datastore.insert(
+            Observation.create(
+                sensor_id="s1",
+                sensor_type="temperature",
+                timestamp=1.0,
+                space_id="r1",
+                payload={"v": 1},
+            )
+        )
+        engine.close()
+
+    def test_recover_replays_a_directory(self, capsys, tmp_path):
+        self.seed_directory(tmp_path)
+        assert main(["recover", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: snapshot_lsn=0 last_lsn=1 frames_replayed=1" in out
+        assert "restored: observations=1" in out
+
+    def test_recover_json(self, capsys, tmp_path):
+        import json
+
+        self.seed_directory(tmp_path)
+        assert main(["recover", "--dir", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["observations_restored"] == 1
+        assert report["torn"] is False
+
+    def test_recover_rejects_non_storage_directory(self, capsys, tmp_path):
+        assert main(["recover", "--dir", str(tmp_path)]) == 2
+        assert "not a storage directory" in capsys.readouterr().err
+
+    def test_chaos_recover_scenario(self, capsys, tmp_path):
+        report_path = tmp_path / "report.txt"
+        assert main(
+            ["chaos", "--recover", "--plan", "torn-storage", "--seed", "11",
+             "--report-out", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "result: OK" in out
+        assert report_path.read_text() == out
+
+    def test_chaos_recover_json(self, capsys):
+        import json
+
+        assert main(
+            ["chaos", "--recover", "--plan", "crashy-storage", "--seed", "11", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["crashed"] is True
+        assert report["invariants"] == {
+            "audit_prefix": True, "erasure": True, "retention": True,
+        }
+
+
 class TestObsCommand:
     def test_obs_prints_snapshot(self, capsys):
         assert main(["obs", "--population", "6", "--ticks", "2"]) == 0

@@ -90,6 +90,54 @@ class TestResilienceDocExamples:
         assert event.line() in text
 
 
+class TestStorageDocExamples:
+    """docs/STORAGE.md's worked examples must stay true to the code."""
+
+    @pytest.fixture(scope="class")
+    def storage_text(self):
+        return (DOCS.parent / "STORAGE.md").read_text()
+
+    def test_frame_encoding_example_runs(self, storage_text):
+        blocks = re.findall(r"```python\n(.*?)```", storage_text, re.S)
+        assert blocks, "the storage doc must contain the worked frame example"
+        for block in blocks:
+            exec(compile(block, "<STORAGE.md example>", "exec"), {})
+
+    def test_manifest_example_is_loadable(self, storage_text, tmp_path):
+        from repro.storage.snapshot import manifest_path, read_manifest
+
+        blocks = [json.loads(b) for b in re.findall(r"```json\n(.*?)```", storage_text, re.S)]
+        assert blocks, "the storage doc must show a MANIFEST.json example"
+        with open(manifest_path(str(tmp_path)), "w") as handle:
+            json.dump(blocks[0], handle)
+        assert read_manifest(str(tmp_path)).snapshot_lsn == blocks[0]["snapshot_lsn"]
+
+    def test_documented_constants_match_the_code(self, storage_text):
+        from repro.storage.wal import (
+            DEFAULT_SEGMENT_BYTES,
+            FRAME_HEADER,
+            SEGMENT_MAGIC,
+        )
+
+        assert "`%s`" % SEGMENT_MAGIC.decode() in storage_text
+        assert "DEFAULT_SEGMENT_BYTES = %d" % DEFAULT_SEGMENT_BYTES in storage_text
+        assert FRAME_HEADER.size == 16  # the documented frame-header table
+
+    def test_documented_metrics_exist(self, storage_text):
+        import pathlib
+
+        durable = pathlib.Path(DOCS.parent.parent / "src/repro/storage/durable.py")
+        source = durable.read_text()
+        for metric in (
+            "storage_wal_appends_total",
+            "storage_wal_bytes_total",
+            "storage_wal_segments_sealed_total",
+            "storage_compactions_total",
+        ):
+            assert metric in storage_text
+            assert metric in source
+
+
 class TestReadmeQuickstart:
     def test_quickstart_code_runs(self):
         """The README's quickstart snippet must execute as written."""

@@ -151,11 +151,13 @@ class TestFaultTrace:
 class TestNamedPlans:
     def test_registry_is_sorted_and_complete(self):
         assert named_plans() == (
+            "crashy-storage",
             "datastore-brownout",
             "flaky-registry",
             "lossy",
             "monkey",
             "policy-outage",
+            "torn-storage",
         )
 
     def test_every_plan_builds_and_roundtrips(self):

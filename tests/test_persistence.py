@@ -68,13 +68,41 @@ class TestDatastoreSnapshots:
         save_datastore(Datastore(), path)
         assert load_datastore(path).count() == 0
 
-    def test_malformed_line_reports_location(self, tmp_path):
+    def test_malformed_interior_line_reports_location(self, tmp_path, store):
+        # A bad record *followed by* good data is corruption, not a
+        # torn tail, and must still raise with its location.
         path = str(tmp_path / "bad.jsonl")
+        save_datastore(store, path)
+        with open(path) as handle:
+            lines = handle.readlines()
+        lines.insert(1, '{"observation_id": 1}\n')
         with open(path, "w") as handle:
-            handle.write('{"observation_id": 1}\n')
+            handle.writelines(lines)
         with pytest.raises(StorageError) as excinfo:
             load_datastore(path)
-        assert "line 1" in str(excinfo.value)
+        assert "line 2" in str(excinfo.value)
+
+    def test_torn_final_line_is_skipped_and_reported(self, tmp_path, store):
+        path = str(tmp_path / "torn.jsonl")
+        save_datastore(store, path)
+        with open(path, "a") as handle:
+            handle.write('{"observation_id": "trunc')  # crash mid-write
+        messages = []
+        restored = load_datastore(path, on_torn_tail=messages.append)
+        assert restored.count() == store.count()
+        assert len(messages) == 1
+        assert "torn final record skipped" in messages[0]
+
+    def test_torn_tail_increments_metric(self, tmp_path, store):
+        from repro.obs.metrics import get_registry
+
+        path = str(tmp_path / "torn.jsonl")
+        save_datastore(store, path)
+        with open(path, "a") as handle:
+            handle.write("not json")
+        before = get_registry().total("persistence_torn_tail_total")
+        load_datastore(path)
+        assert get_registry().total("persistence_torn_tail_total") == before + 1
 
     def test_no_tmp_file_left_behind(self, store, tmp_path):
         path = str(tmp_path / "snap.jsonl")
@@ -115,9 +143,26 @@ class TestAuditSnapshots:
         save_audit(log, path)
         assert load_audit(path).summary() == log.summary()
 
-    def test_malformed_audit_line(self, tmp_path):
+    def test_malformed_interior_audit_line(self, tmp_path):
+        log = self.make_log()
         path = str(tmp_path / "bad.jsonl")
+        save_audit(log, path)
+        with open(path) as handle:
+            lines = handle.readlines()
+        lines.insert(0, "not json\n")
         with open(path, "w") as handle:
-            handle.write("not json\n")
-        with pytest.raises(StorageError):
+            handle.writelines(lines)
+        with pytest.raises(StorageError) as excinfo:
             load_audit(path)
+        assert "line 1" in str(excinfo.value)
+
+    def test_torn_final_audit_line_is_skipped(self, tmp_path):
+        log = self.make_log()
+        path = str(tmp_path / "audit.jsonl")
+        save_audit(log, path)
+        with open(path, "a") as handle:
+            handle.write('{"timestamp": 9.0, "requester')
+        messages = []
+        restored = load_audit(path, on_torn_tail=messages.append)
+        assert list(restored) == list(log)
+        assert len(messages) == 1

@@ -1,0 +1,155 @@
+"""Unit tests for the storage engine and durable wrappers."""
+
+import pytest
+
+from repro.core.enforcement.audit import AuditRecord
+from repro.core.language.vocabulary import GranularityLevel
+from repro.core.policy.base import DecisionPhase, Effect
+from repro.errors import SimulatedCrash, StorageError
+from repro.obs.metrics import MetricsRegistry
+from repro.sensors.base import Observation
+from repro.storage import records
+from repro.storage.durable import DurableAuditLog, DurableDatastore, StorageEngine
+from repro.storage.recovery import replay_directory
+
+
+def obs(timestamp, subject=None):
+    return Observation.create(
+        sensor_id="s1",
+        sensor_type="temperature",
+        timestamp=timestamp,
+        space_id="r1",
+        payload={"v": timestamp},
+        subject_id=subject,
+    )
+
+
+def audit_record(timestamp):
+    return AuditRecord(
+        timestamp=timestamp,
+        requester_id="svc",
+        phase=DecisionPhase.SHARING,
+        category="location",
+        subject_id="mary",
+        space_id="r1",
+        effect=Effect.ALLOW,
+        granularity=GranularityLevel.PRECISE,
+        reasons=("test",),
+        notify_user=False,
+    )
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        payload = records.encode_record(records.OBS, {"a": 1, "b": [2, 3]})
+        record_type, data = records.decode_record(payload)
+        assert record_type == records.OBS
+        assert data == {"a": 1, "b": [2, 3]}
+
+    def test_canonical_encoding_is_stable(self):
+        first = records.encode_record(records.PREF, {"b": 1, "a": 2})
+        second = records.encode_record(records.PREF, {"a": 2, "b": 1})
+        assert first == second
+
+    def test_garbage_raises(self):
+        with pytest.raises(StorageError):
+            records.decode_record(b"not json")
+        with pytest.raises(StorageError):
+            records.decode_record(b'["not", "an", "object"]')
+
+
+class TestStorageEngine:
+    def test_log_returns_lsns(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        assert engine.log_observation(obs(1.0)) == 1
+        assert engine.log_forget("mary") == 2
+        assert engine.log_audit(audit_record(1.0)) == 3
+        engine.close()
+
+    def test_replaying_suppresses_logging(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        engine.replaying = True
+        assert engine.log_observation(obs(1.0)) is None
+        assert engine.wal.appends == 0
+        engine.close()
+
+    def test_taps_see_records_before_the_write(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        seen = []
+        engine.taps.append(lambda rt, data: seen.append(rt))
+        engine.install_fault_plane(lambda op, rt: "torn_write")
+        with pytest.raises(SimulatedCrash):
+            engine.log_observation(obs(1.0))
+        assert seen == [records.OBS]  # tapped even though the write tore
+        engine.close()
+
+    def test_storage_metrics_emitted(self, tmp_path):
+        metrics = MetricsRegistry()
+        engine = StorageEngine(str(tmp_path), metrics=metrics)
+        engine.log_observation(obs(1.0))
+        engine.log_audit(audit_record(1.0))
+        assert metrics.total("storage_wal_appends_total", {"type": "obs"}) == 1
+        assert metrics.total("storage_wal_appends_total", {"type": "audit"}) == 1
+        assert metrics.total("storage_wal_bytes_total") > 0
+        engine.compact()
+        assert metrics.total("storage_compactions_total") == 1
+        engine.close()
+
+
+class TestDurableDatastore:
+    def test_insert_is_logged_then_applied(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        datastore = DurableDatastore(engine)
+        datastore.insert(obs(1.0, subject="mary"))
+        assert datastore.count() == 1
+        assert engine.wal.appends == 1
+        engine.close()
+        state = replay_directory(str(tmp_path))
+        assert state.datastore.count() == 1
+        assert state.datastore.query(subject_id="mary")
+
+    def test_guarded_failure_writes_nothing(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        datastore = DurableDatastore(engine)
+        datastore.install_fault_plane(lambda op, detail: True)
+        with pytest.raises(StorageError):
+            datastore.insert(obs(1.0))
+        assert datastore.count() == 0
+        assert engine.wal.appends == 0  # guard fires before the WAL
+        engine.close()
+
+    def test_crash_mid_append_leaves_memory_a_prefix_of_the_log(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        datastore = DurableDatastore(engine)
+        datastore.insert(obs(1.0))
+        engine.install_fault_plane(lambda op, rt: "crash_mid_append")
+        with pytest.raises(SimulatedCrash):
+            datastore.insert(obs(2.0))
+        # Memory missed the second insert; the log has it.  Memory is
+        # the prefix, the log is the truth.
+        assert datastore.count() == 1
+        engine.close()
+        state = replay_directory(str(tmp_path))
+        assert state.datastore.count() == 2
+
+    def test_forget_is_durable(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        datastore = DurableDatastore(engine)
+        for index in range(4):
+            datastore.insert(obs(float(index), subject="mary"))
+        assert datastore.forget_subject("mary") == 4
+        engine.close()
+        state = replay_directory(str(tmp_path))
+        assert state.datastore.count() == 0
+        assert state.report.erasures_applied == 1
+
+
+class TestDurableAuditLog:
+    def test_append_round_trips_through_recovery(self, tmp_path):
+        engine = StorageEngine(str(tmp_path))
+        audit = DurableAuditLog(engine)
+        audit.append(audit_record(1.0))
+        audit.append(audit_record(2.0))
+        engine.close()
+        state = replay_directory(str(tmp_path))
+        assert list(state.audit) == list(audit)

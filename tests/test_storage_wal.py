@@ -1,0 +1,184 @@
+"""Unit tests for the segmented write-ahead log."""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import SimulatedCrash, StorageError
+from repro.storage.wal import (
+    FRAME_HEADER,
+    SEGMENT_HEADER,
+    SEGMENT_MAGIC,
+    WriteAheadLog,
+    decode_frame,
+    encode_frame,
+    list_segments,
+    scan_segment,
+    segment_sequence,
+)
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        frame_bytes = encode_frame(7, b"hello")
+        frame, next_offset, reason = decode_frame(frame_bytes)
+        assert frame is not None and reason == ""
+        assert frame.lsn == 7
+        assert frame.payload == b"hello"
+        assert next_offset == len(frame_bytes)
+
+    def test_empty_payload(self):
+        frame, _, _ = decode_frame(encode_frame(1, b""))
+        assert frame is not None and frame.payload == b""
+
+    def test_header_layout(self):
+        frame_bytes = encode_frame(3, b"xy")
+        lsn, length, _crc = FRAME_HEADER.unpack_from(frame_bytes, 0)
+        assert (lsn, length) == (3, 2)
+
+    def test_short_header(self):
+        assert decode_frame(b"\x00\x01") == (None, 0, "short-header")
+
+    def test_short_payload(self):
+        frame_bytes = encode_frame(1, b"payload")
+        frame, offset, reason = decode_frame(frame_bytes[:-2])
+        assert frame is None and offset == 0 and reason == "short-payload"
+
+    def test_crc_mismatch(self):
+        frame_bytes = bytearray(encode_frame(1, b"payload"))
+        frame_bytes[-1] ^= 0xFF  # flip a payload bit
+        frame, _, reason = decode_frame(bytes(frame_bytes))
+        assert frame is None and reason == "crc-mismatch"
+
+    def test_oversized_length_rejected_without_allocating(self):
+        header = struct.pack(">QII", 1, 2**31, 0)
+        frame, _, reason = decode_frame(header + b"x" * 8)
+        assert frame is None and reason == "oversized-length"
+
+    def test_bad_lsn_and_oversized_payload_raise_at_encode(self):
+        with pytest.raises(StorageError):
+            encode_frame(0, b"")
+        with pytest.raises(StorageError):
+            encode_frame(1, b"x" * (16 * 1024 * 1024 + 1))
+
+
+class TestWriteAheadLog:
+    def test_appends_assign_monotonic_lsns(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert [wal.append(b"a"), wal.append(b"b"), wal.append(b"c")] == [1, 2, 3]
+        wal.close()
+
+    def test_segment_rotation_at_byte_budget(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_bytes=64)
+        for _ in range(10):
+            wal.append(b"x" * 24)
+        assert wal.segments_sealed >= 2
+        assert len(wal.segment_paths()) == wal.segments_sealed + 1
+        wal.close()
+
+    def test_segment_header_magic(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"data")
+        wal.close()
+        with open(wal.active_path, "rb") as handle:
+            magic, first_lsn = SEGMENT_HEADER.unpack(
+                handle.read(SEGMENT_HEADER.size)
+            )
+        assert magic == SEGMENT_MAGIC and first_lsn == 1
+
+    def test_reopen_resumes_lsn(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_bytes=64)
+        for index in range(8):
+            wal.append(b"payload-%d" % index)
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path), segment_bytes=64)
+        assert reopened.append(b"after") == 9
+        reopened.close()
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"kept")
+        wal.append(b"also kept")
+        wal.close()
+        with open(wal.active_path, "ab") as handle:
+            handle.write(encode_frame(3, b"torn")[:9])
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.truncated_segments == 1
+        assert reopened.append(b"fresh") == 3
+        reopened.close()
+        # The torn bytes were physically removed; appends resume in a
+        # fresh segment and the LSN chain stays contiguous across both.
+        first, second = list_segments(str(tmp_path))
+        first_scan, second_scan = scan_segment(first), scan_segment(second)
+        assert not first_scan.torn and not second_scan.torn
+        assert [f.payload for f in first_scan.frames] == [b"kept", b"also kept"]
+        assert [f.payload for f in second_scan.frames] == [b"fresh"]
+        assert second_scan.first_lsn == first_scan.last_lsn + 1
+
+    def test_segments_after_a_tear_are_dropped(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_bytes=64)
+        for index in range(8):
+            wal.append(b"payload-%d" % index)
+        wal.close()
+        first, second = list_segments(str(tmp_path))[:2]
+        with open(first, "r+b") as handle:
+            handle.seek(SEGMENT_HEADER.size + 4)
+            handle.write(b"\xff\xff")  # corrupt the first frame
+        reopened = WriteAheadLog(str(tmp_path), segment_bytes=64)
+        assert not os.path.exists(second)
+        # The first segment keeps only its header; LSNs restart at 1.
+        assert reopened.append(b"fresh") == 1
+        reopened.close()
+
+    def test_scan_detects_lsn_discontinuity(self, tmp_path):
+        path = str(tmp_path / "wal-00000001.seg")
+        with open(path, "wb") as handle:
+            handle.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, 1))
+            handle.write(encode_frame(1, b"one"))
+            handle.write(encode_frame(5, b"gap"))
+        scan = scan_segment(path)
+        assert scan.torn and scan.reason == "lsn-discontinuity"
+        assert len(scan.frames) == 1
+
+    def test_torn_write_fault_crashes_with_partial_frame(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"before")
+        wal.install_fault_plane(lambda op, rt: "torn_write")
+        with pytest.raises(SimulatedCrash):
+            wal.append(b"doomed")
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.truncated_segments == 1
+        assert reopened.next_lsn == 2  # the torn record was lost
+        reopened.close()
+
+    def test_crash_mid_append_leaves_durable_frame(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"before")
+        wal.install_fault_plane(lambda op, rt: "crash_mid_append")
+        with pytest.raises(SimulatedCrash):
+            wal.append(b"durable")
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.next_lsn == 3  # the frame survived
+        reopened.close()
+        scan = scan_segment(list_segments(str(tmp_path))[0])
+        assert scan.frames[-1].payload == b"durable"
+
+    def test_removed_plane_stops_faulting(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        plane = lambda op, rt: "torn_write"  # noqa: E731
+        wal.install_fault_plane(plane)
+        wal.remove_fault_plane(plane)
+        assert wal.append(b"fine") == 1
+        wal.close()
+
+    def test_segment_sequence_parsing(self):
+        assert segment_sequence("/x/wal-00000042.seg") == 42
+        with pytest.raises(StorageError):
+            segment_sequence("/x/not-a-segment.txt")
+
+    def test_too_small_budget_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WriteAheadLog(str(tmp_path), segment_bytes=8)
