@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke lint obs chaos recover
+.PHONY: test test-fast bench-smoke lint obs chaos recover overload
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -52,3 +52,16 @@ recover:
 	          --seed 11 --report-out /tmp/repro-recover-b.txt
 	diff /tmp/repro-recover-a.txt /tmp/repro-recover-b.txt
 	PYTHONPATH=src $(PYTHON) -m repro chaos --recover --plan crashy-storage --seed 11
+
+# Overload sweep: the admission/brownout test suite, then two
+# same-seed rush-hour runs whose deterministic reports must be
+# byte-identical, plus the no-admission ablation baseline.
+overload:
+	$(PYTEST) -x -q tests/test_admission.py tests/test_sensor_supervisor.py \
+	          tests/test_resilience_edges.py tests/test_overload_scenario.py
+	PYTHONPATH=src $(PYTHON) -m repro overload --plan rush-hour \
+	          --seed 11 --report-out /tmp/repro-overload-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro overload --plan rush-hour \
+	          --seed 11 --report-out /tmp/repro-overload-b.txt
+	diff /tmp/repro-overload-a.txt /tmp/repro-overload-b.txt
+	PYTHONPATH=src $(PYTHON) -m repro overload --no-admission --seed 11

@@ -20,12 +20,22 @@ obs [--population N] [--ticks N] [--json PATH] [--traces N]
 chaos [--plan NAME] [--seed N] [--population N] [--ticks N] [--json] [--trace]
     Run the compact pipeline under a named fault plan (deterministic
     fault injection) and report delivered/dropped/degraded counts, the
-    faults fired, and optionally the full fault trace.  ``--plan list``
-    prints the shipped plans.  With ``--recover``, run the storage
-    crash-recovery scenario instead: crash a storage-backed run via the
-    plan's WAL faults, recover, and check the recovery invariants
-    (exit 1 if any is violated); ``--report-out PATH`` writes the
-    deterministic report text for byte-diffing two same-seed runs.
+    faults fired, and optionally the full fault trace.  ``--list`` (or
+    ``--plan list``) prints the shipped plans with one-line summaries.
+    With ``--recover``, run the storage crash-recovery scenario
+    instead: crash a storage-backed run via the plan's WAL faults,
+    recover, and check the recovery invariants (exit 1 if any is
+    violated); ``--report-out PATH`` writes the deterministic report
+    text for byte-diffing two same-seed runs.
+overload [--plan NAME] [--seed N] [--population N] [--ticks N] [--json]
+    Run the overload scenario: admission control, priority load
+    shedding, and privacy-preserving brownout under a burst fault plan
+    (default ``rush-hour``).  Checks the overload invariants -- zero
+    CRITICAL sheds, DEFERRABLE shed rate above zero, every degraded
+    response marked in the audit record -- and exits 1 if any is
+    violated.  ``--no-admission`` runs the same workload with the
+    controller disabled (the ablation baseline); ``--report-out PATH``
+    writes the deterministic report text for byte-diffing.
 recover --dir PATH [--json]
     Replay an existing storage directory (snapshot + WAL) and print the
     recovery report without mutating it.
@@ -202,7 +212,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import describe_plans
     from repro.simulation.chaos import run_chaos_scenario
 
-    if args.plan == "list":
+    if args.list or args.plan == "list":
         for line in describe_plans():
             print(line)
         return 0
@@ -250,6 +260,42 @@ def _chaos_recover(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         sys.stdout.write(report.report_text)
+    if args.report_out:
+        try:
+            with open(args.report_out, "w") as handle:
+                handle.write(report.report_text)
+        except OSError as error:
+            print("error: cannot write %s: %s" % (args.report_out, error),
+                  file=sys.stderr)
+            return 2
+    return 0 if report.ok else 1
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FaultError
+    from repro.simulation.overload import run_overload_scenario
+
+    try:
+        report = run_overload_scenario(
+            plan_name=args.plan,
+            seed=args.seed,
+            population=args.population,
+            ticks=args.ticks,
+            admission=not args.no_admission,
+        )
+    except FaultError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(report.report_text)
+    if args.trace:
+        print()
+        print("== fault trace ==")
+        sys.stdout.write(report.trace_text)
     if args.report_out:
         try:
             with open(args.report_out, "w") as handle:
@@ -356,7 +402,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--report-out", default=None, metavar="PATH",
         help="with --recover: also write the deterministic report text here",
     )
+    chaos.add_argument(
+        "--list", action="store_true",
+        help="enumerate the shipped fault plans and exit",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    overload = subparsers.add_parser(
+        "overload",
+        help="run the admission-control overload scenario",
+    )
+    overload.add_argument(
+        "--plan", default="rush-hour",
+        help="fault plan name (default: rush-hour)",
+    )
+    overload.add_argument("--seed", type=int, default=11)
+    overload.add_argument("--population", type=_positive_int, default=8)
+    overload.add_argument("--ticks", type=_positive_int, default=12)
+    overload.add_argument("--json", action="store_true",
+                          help="print the report as JSON")
+    overload.add_argument("--trace", action="store_true",
+                          help="also print the full fault trace")
+    overload.add_argument(
+        "--no-admission", action="store_true",
+        help="disable the admission controller (ablation baseline)",
+    )
+    overload.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the deterministic report text here",
+    )
+    overload.set_defaults(func=_cmd_overload)
 
     recover = subparsers.add_parser(
         "recover", help="replay a storage directory and print the recovery report"

@@ -13,6 +13,7 @@ C003      bare-except           ``except:`` swallows everything
 C004      mutable-default       list/dict/set literal as a default
 C005      metric-name           metric names must be dotted.snake_case
 C006      layer-import          module-level import violating the DAG
+C007      unbounded-call        bus call without a deadline (clients)
 ========  ====================  ========================================
 
 Suppress a finding by putting ``# repro: noqa=C002`` on the flagged
@@ -69,6 +70,17 @@ register_rule(
     "A module-level import crosses the layer DAG (e.g. core importing "
     "tippers); depend downward only or inject the collaborator.",
 )
+register_rule(
+    "C007", "unbounded-call", Severity.WARNING,
+    "A bus call in a client layer (services, iota) has no deadline=; "
+    "under overload it can retry unbounded -- pass a Deadline so the "
+    "admission controller and breakers can shed it predictably.",
+)
+
+#: Layers whose bus calls C007 requires to carry a deadline.  Building
+#: infrastructure (tippers, irr) answers calls; these layers originate
+#: them, so they own the time budget.
+_DEADLINE_LAYERS = frozenset({"services", "iota"})
 
 #: Wall-clock call paths banned by C001 (resolved through import
 #: aliases, so ``from datetime import datetime as dt; dt.now()`` is
@@ -190,6 +202,7 @@ class CodeLinter:
         findings.extend(self._check_excepts(tree, filename))
         findings.extend(self._check_defaults(tree, filename))
         findings.extend(self._check_layering(tree, filename))
+        findings.extend(self._check_deadlines(tree, filename))
         suppressions = suppressions_in(source)
         kept = [
             finding
@@ -345,6 +358,42 @@ class CodeLinter:
                         "layer %r must not import %r (allowed: %s)"
                         % (layer, imported, ", ".join(sorted(allowed))),
                     ))
+        return findings
+
+    # ------------------------------------------------------------------
+    # C007: bus calls without a deadline (client layers)
+    # ------------------------------------------------------------------
+    def _check_deadlines(self, tree: ast.AST, filename: str) -> List[Finding]:
+        """Flag ``<bus>.call(...)`` without ``deadline=`` in client layers.
+
+        The receiver is matched by name: the last dotted segment before
+        ``.call`` must end with ``bus`` (``self.bus``, ``self._bus``, a
+        local ``bus``), which is the repo's naming idiom for
+        :class:`~repro.net.bus.MessageBus` handles.  A ``**kwargs``
+        splat is given the benefit of the doubt.
+        """
+        if self._layer_of(filename) not in _DEADLINE_LAYERS:
+            return []
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "call"):
+                continue
+            receiver = _dotted(func.value)
+            if receiver is None:
+                continue
+            if not receiver.split(".")[-1].lower().endswith("bus"):
+                continue
+            keywords = {kw.arg for kw in node.keywords}
+            if "deadline" in keywords or None in keywords:
+                continue
+            findings.append(self._finding(
+                "C007", filename, node.lineno,
+                "%s.call(...) has no deadline=; pass a Deadline so the "
+                "call cannot retry unbounded under overload" % receiver,
+            ))
         return findings
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, Tuple
 
 from repro.core.enforcement.engine import Decision, EnforcementEngine
 from repro.core.policy.base import DataRequest
@@ -91,7 +91,15 @@ class CachingEnforcementEngine(EnforcementEngine):
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
-    def decide(self, request: DataRequest) -> Decision:
+    def decide(
+        self, request: DataRequest, notes: Tuple[str, ...] = ()
+    ) -> Decision:
+        # Noted decisions (brownout-degraded responses) bypass the cache
+        # in both directions: a cached resolution must not shed its
+        # degradation marker, and a marked resolution must not be served
+        # later to an un-degraded request.
+        if notes:
+            return super().decide(request, notes)
         start = time.perf_counter()
         if self.store.version != self._cached_version:
             self._cache.clear()

@@ -9,9 +9,10 @@ is stored (capture/storage phases); the request manager calls
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.enforcement.audit import AuditLog, AuditRecord
 from repro.core.enforcement.mechanisms import degrade_observation
@@ -128,7 +129,9 @@ class EnforcementEngine:
     # ------------------------------------------------------------------
     # Query-path enforcement (steps 9-10 of Figure 1)
     # ------------------------------------------------------------------
-    def decide(self, request: DataRequest) -> Decision:
+    def decide(
+        self, request: DataRequest, notes: Tuple[str, ...] = ()
+    ) -> Decision:
         """Resolve ``request`` and record the outcome.
 
         When the policy-fetch path itself fails (the rule store is
@@ -136,13 +139,24 @@ class EnforcementEngine:
         is denied, the denial is audited, and
         ``enforcement_failclosed_total`` is incremented.  An outage must
         never widen access.
+
+        ``notes`` are appended to the resolution's reasons and hence to
+        the audit record -- the overload layer uses them to mark every
+        brownout-degraded response, so a coarsened answer is never
+        indistinguishable from a precisely-served one in the audit
+        trail.
         """
         start = time.perf_counter()
         try:
             match = self._matcher.match(request)
         except ReproError as exc:
-            return self._fail_closed(request, exc, start)
+            return self._fail_closed(request, exc, start, notes)
         resolution = resolve(match, self.strategy)
+        if notes:
+            resolution = dataclasses.replace(
+                resolution, reasons=resolution.reasons + notes
+            )
+            self.metrics.counter("brownout_audited_total").inc()
         self._record(request, resolution)
         self._note_decision(
             resolution,
@@ -202,14 +216,19 @@ class EnforcementEngine:
     # Internals
     # ------------------------------------------------------------------
     def _fail_closed(
-        self, request: DataRequest, exc: ReproError, start: float
+        self,
+        request: DataRequest,
+        exc: ReproError,
+        start: float,
+        notes: Tuple[str, ...] = (),
     ) -> Decision:
         """Deny, audit, and count a decision whose policy fetch failed."""
         resolution = Resolution(
             effect=Effect.DENY,
             granularity=GranularityLevel.NONE,
             notify_user=False,
-            reasons=("policy fetch failed: %s" % exc, "fail-closed deny"),
+            reasons=("policy fetch failed: %s" % exc, "fail-closed deny")
+            + notes,
         )
         self._record(request, resolution)
         self._m_failclosed.inc()

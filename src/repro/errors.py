@@ -54,6 +54,14 @@ class CircuitOpenError(NetworkError):
     """A call was rejected because the target's circuit breaker is open."""
 
 
+class AdmissionError(ReproError):
+    """An admission controller or brownout policy is misconfigured."""
+
+
+class AdmissionShedError(NetworkError):
+    """A call was shed by admission control before reaching its target."""
+
+
 class FaultError(ReproError):
     """A fault plan or fault injector is misconfigured."""
 

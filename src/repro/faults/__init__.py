@@ -10,6 +10,7 @@ with the same seed and operation sequence.
 
 from repro.faults.injector import FaultInjector, single_spec_plan
 from repro.faults.plan import (
+    ADMISSION_KINDS,
     BUS_KINDS,
     DATASTORE_KINDS,
     POLICY_KINDS,
@@ -24,6 +25,7 @@ from repro.faults.plan import (
 from repro.faults.plans import build_plan, describe_plans, named_plans
 
 __all__ = [
+    "ADMISSION_KINDS",
     "BUS_KINDS",
     "DATASTORE_KINDS",
     "POLICY_KINDS",

@@ -23,6 +23,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.errors import FaultError, StorageError
 from repro.faults.plan import (
+    ADMISSION_KINDS,
     BUS_KINDS,
     DATASTORE_KINDS,
     POLICY_KINDS,
@@ -48,6 +49,7 @@ class FaultInjector:
         self._subsystems: List[Any] = []
         self._policy_stores: List[Tuple[Any, Any]] = []
         self._storage_engines: List[Any] = []
+        self._admission_controllers: List[Any] = []
 
     @property
     def step(self) -> int:
@@ -109,6 +111,29 @@ class FaultInjector:
         self.trace.record(step, "wal", spec.kind, record_type or op)
         return spec.kind.value
 
+    def _admission_plane(self, target: str, method: str) -> Optional[int]:
+        """Overload plane: one step per admission check.
+
+        Returns the number of phantom arrivals to inject into the
+        target's topic queue (the sum of fired specs' magnitudes), or
+        ``None`` when no burst fires.
+        """
+        step = self._advance()
+        fired = self.plan.matching(step, ADMISSION_KINDS, (target, method))
+        if not fired:
+            return None
+        burst = 0
+        for spec in fired:
+            burst += spec.magnitude
+            self.trace.record(
+                step,
+                "admission",
+                spec.kind,
+                target,
+                "method=%s magnitude=%d" % (method, spec.magnitude),
+            )
+        return burst
+
     def _sensor_plane(self, sensor: Any) -> bool:
         """Sensing plane: one step per sensor sample; True stalls it."""
         step = self._advance()
@@ -142,6 +167,11 @@ class FaultInjector:
         """
         for subsystem in manager.subsystems():
             self.install_subsystem(subsystem)
+
+    def install_admission(self, controller: Any) -> None:
+        """Route admission checks through the plan (overload bursts)."""
+        controller.install_fault_plane(self._admission_plane)
+        self._admission_controllers.append(controller)
 
     def install_storage_engine(self, engine: Any) -> None:
         """Route WAL appends through the plan (torn writes, crashes)."""
@@ -186,11 +216,14 @@ class FaultInjector:
             store.candidate_policies = original
         for engine in self._storage_engines:
             engine.remove_fault_plane(self._wal_plane)
+        for controller in self._admission_controllers:
+            controller.remove_fault_plane(self._admission_plane)
         del self._buses[:]
         del self._datastores[:]
         del self._subsystems[:]
         del self._policy_stores[:]
         del self._storage_engines[:]
+        del self._admission_controllers[:]
 
 
 def single_spec_plan(spec: FaultSpec, seed: int = 0, name: str = "single") -> FaultPlan:

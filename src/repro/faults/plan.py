@@ -55,6 +55,10 @@ class FaultKind(enum.Enum):
     """WAL: the process crashes after the frame is durable but before
     the in-memory apply; recovery replays the record."""
 
+    OVERLOAD_BURST = "overload_burst"
+    """Admission: ``magnitude`` phantom arrivals land in the target's
+    topic queue, driving its load toward the watermarks."""
+
 
 #: Which fault kinds each injection site consumes.
 BUS_KINDS = frozenset(
@@ -64,6 +68,7 @@ DATASTORE_KINDS = frozenset({FaultKind.STORE_WRITE_FAIL})
 SENSOR_KINDS = frozenset({FaultKind.SENSOR_STALL})
 POLICY_KINDS = frozenset({FaultKind.POLICY_FETCH_FAIL})
 WAL_KINDS = frozenset({FaultKind.TORN_WRITE, FaultKind.CRASH_MID_APPEND})
+ADMISSION_KINDS = frozenset({FaultKind.OVERLOAD_BURST})
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,7 @@ class FaultSpec:
     stop: Optional[int] = None
     rate: float = 0.0
     latency_s: float = 0.0
+    magnitude: int = 0
 
     def __post_init__(self) -> None:
         if self.every < 0:
@@ -107,6 +113,10 @@ class FaultSpec:
             raise FaultError("latency_s must be non-negative")
         if self.kind is FaultKind.LATENCY and self.latency_s == 0:
             raise FaultError("a latency fault needs latency_s > 0")
+        if self.magnitude < 0:
+            raise FaultError("magnitude must be non-negative")
+        if self.kind is FaultKind.OVERLOAD_BURST and self.magnitude == 0:
+            raise FaultError("an overload_burst fault needs magnitude > 0")
 
     # ------------------------------------------------------------------
     # Matching
@@ -150,6 +160,8 @@ class FaultSpec:
             data["rate"] = self.rate
         if self.latency_s:
             data["latency_s"] = self.latency_s
+        if self.magnitude:
+            data["magnitude"] = self.magnitude
         return data
 
     @classmethod
@@ -168,6 +180,7 @@ class FaultSpec:
             stop=None if data.get("stop") is None else int(data["stop"]),
             rate=float(data.get("rate", 0.0)),
             latency_s=float(data.get("latency_s", 0.0)),
+            magnitude=int(data.get("magnitude", 0)),
         )
 
 

@@ -109,6 +109,39 @@ def _crashy_storage(seed: int) -> FaultPlan:
     )
 
 
+def _rush_hour(seed: int) -> FaultPlan:
+    """Morning rush: arrival bursts flood the building's topic queues.
+
+    A sustained burst window drives the admission queues over the high
+    watermark (brownout) and, at its peak, past the hard shed
+    watermark -- DEFERRABLE traffic sheds, NORMAL queries serve coarser
+    answers, CRITICAL calls must all still land.  One access point also
+    stalls through the early window, so the sensor health supervisor
+    quarantines and later re-admits it.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(
+                kind=FaultKind.OVERLOAD_BURST,
+                start=10,
+                stop=600,
+                every=2,
+                magnitude=2,
+            ),
+            FaultSpec(
+                kind=FaultKind.OVERLOAD_BURST,
+                start=120,
+                stop=360,
+                rate=0.5,
+                magnitude=3,
+            ),
+            FaultSpec(kind=FaultKind.SENSOR_STALL, target="ap-01", stop=400),
+        ],
+        seed=seed,
+        name="rush-hour",
+    )
+
+
 _BUILDERS: Dict[str, Callable[[int], FaultPlan]] = {
     "lossy": _lossy,
     "flaky-registry": _flaky_registry,
@@ -117,6 +150,7 @@ _BUILDERS: Dict[str, Callable[[int], FaultPlan]] = {
     "monkey": _monkey,
     "torn-storage": _torn_storage,
     "crashy-storage": _crashy_storage,
+    "rush-hour": _rush_hour,
 }
 
 
@@ -137,10 +171,21 @@ def build_plan(name: str, seed: int = 0) -> FaultPlan:
 
 
 def describe_plans() -> List[str]:
-    """One human-readable line per shipped plan, for the CLI."""
+    """One human-readable line per shipped plan, for the CLI.
+
+    Each line carries the plan's spec count, fault kinds, and the first
+    line of its builder's docstring, so ``python -m repro chaos --list``
+    explains a plan without the reader opening this file.
+    """
     lines = []
     for name in named_plans():
-        plan = _BUILDERS[name](0)
+        builder = _BUILDERS[name]
+        plan = builder(0)
         kinds = sorted({spec.kind.value for spec in plan.specs})
-        lines.append("%s: %d spec(s) [%s]" % (name, len(plan), ", ".join(kinds)))
+        doc = (builder.__doc__ or "").strip().splitlines()
+        summary = doc[0].strip() if doc else ""
+        line = "%s: %d spec(s) [%s]" % (name, len(plan), ", ".join(kinds))
+        if summary:
+            line += " -- %s" % summary
+        lines.append(line)
     return lines

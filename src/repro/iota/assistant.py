@@ -29,6 +29,12 @@ from repro.net.bus import MessageBus, RpcError
 from repro.net.resilience import Deadline, RetryPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
 
+#: Simulated-time budget for a bus call when the assistant's owner did
+#: not configure ``call_deadline_s``.  Generous on purpose: it exists
+#: so no assistant call can retry unbounded (lint rule C007), not to
+#: shape normal traffic.
+_DEFAULT_CALL_DEADLINE_S = 30.0
+
 #: Normalization of sensor-type spellings found in documents to the
 #: primary data category their observations yield.
 _SENSOR_TYPE_CATEGORY: Dict[str, DataCategory] = {
@@ -161,16 +167,20 @@ class IoTAssistant:
 
         With a :class:`~repro.net.resilience.RetryPolicy` configured,
         its deterministic backoff schedule replaces the legacy fixed
-        retry count; ``call_deadline_s`` opens a fresh
-        :class:`~repro.net.resilience.Deadline` per logical call.
+        retry count.  Every logical call opens a fresh
+        :class:`~repro.net.resilience.Deadline` -- ``call_deadline_s``
+        when configured, a generous default otherwise -- so no call can
+        retry unbounded (lint rule C007).
         """
-        if self.retry_policy is None:
-            return self.bus.call(target, method, payload, retries=2)
-        deadline = (
-            Deadline(self.call_deadline_s)
+        deadline = Deadline(
+            self.call_deadline_s
             if self.call_deadline_s is not None
-            else None
+            else _DEFAULT_CALL_DEADLINE_S
         )
+        if self.retry_policy is None:
+            return self.bus.call(
+                target, method, payload, retries=2, deadline=deadline
+            )
         return self.bus.call(
             target,
             method,

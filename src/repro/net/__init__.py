@@ -10,7 +10,31 @@ The bus also injects configurable latency and message loss so
 experiments can study the framework under imperfect networks.
 """
 
+from repro.net.admission import (
+    AdmissionController,
+    AdmissionLedger,
+    AdmissionTicket,
+    BrownoutPolicy,
+    LoadLevel,
+    Priority,
+    TokenBucket,
+    TopicQueue,
+)
 from repro.net.bus import Endpoint, MessageBus, RpcError
 from repro.net.codec import decode_message, encode_message
 
-__all__ = ["MessageBus", "Endpoint", "RpcError", "encode_message", "decode_message"]
+__all__ = [
+    "MessageBus",
+    "Endpoint",
+    "RpcError",
+    "encode_message",
+    "decode_message",
+    "AdmissionController",
+    "AdmissionLedger",
+    "AdmissionTicket",
+    "BrownoutPolicy",
+    "LoadLevel",
+    "Priority",
+    "TokenBucket",
+    "TopicQueue",
+]

@@ -7,7 +7,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import CircuitOpenError, DeadlineError, NetworkError
+from repro.errors import (
+    AdmissionShedError,
+    CircuitOpenError,
+    DeadlineError,
+    NetworkError,
+)
+from repro.net.admission import AdmissionController
 from repro.net.codec import decode_message, encode_message
 from repro.net.resilience import BreakerBoard, Deadline, RetryPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -104,6 +110,9 @@ class BusStats:
     #: Calls refused by an open circuit breaker before becoming a
     #: logical call (so ``calls == logical_calls + retries`` still holds).
     rejected: int = 0
+    #: Calls shed by admission control before becoming a logical call
+    #: (its own ledger, same identity-preserving position as ``rejected``).
+    shed: int = 0
 
     @property
     def attempts(self) -> int:
@@ -128,6 +137,7 @@ class MessageBus:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         breakers: Optional[BreakerBoard] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise NetworkError("drop_rate must lie in [0, 1)")
@@ -139,6 +149,7 @@ class MessageBus:
         self._rng = rng if rng is not None else random.Random(0)
         self.stats = BusStats()
         self.breakers = breakers
+        self.admission = admission
         self._fault_planes: List[FaultPlane] = []
         self.metrics = metrics if metrics is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -204,6 +215,7 @@ class MessageBus:
         retries: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
         deadline: Optional[Deadline] = None,
+        principal: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Invoke ``method`` on ``target`` with a JSON round-trip.
 
@@ -216,11 +228,34 @@ class MessageBus:
         :class:`~repro.net.resilience.BreakerBoard`, calls to a target
         whose breaker is open are refused up front with
         :class:`~repro.errors.CircuitOpenError` (counted in
-        ``stats.rejected``, never as a logical call).
+        ``stats.rejected``, never as a logical call).  When it carries
+        an :class:`~repro.net.admission.AdmissionController`, every call
+        is admission-checked first: shed calls raise
+        :class:`~repro.errors.AdmissionShedError` (counted in
+        ``stats.shed``, never as a logical call), and browned-out calls
+        proceed with a ``brownout_level`` hint injected into the payload
+        so privacy-aware endpoints can serve coarser data.  ``principal``
+        names the caller for per-principal admission budgets.
 
         Raises :class:`NetworkError` on loss/unknown targets and
         :class:`RpcError` when the endpoint itself fails.
         """
+        if self.admission is not None:
+            ticket = self.admission.admit(target, method, principal)
+            if not ticket.admitted:
+                self.stats.shed += 1
+                self.metrics.counter(
+                    "bus_admission_shed_total",
+                    {"target": target, "class": ticket.priority.value},
+                ).inc()
+                raise AdmissionShedError(
+                    "call %s.%s shed by admission control (%s, load %.2f): %s"
+                    % (target, method, ticket.priority.value, ticket.load,
+                       ticket.reason)
+                )
+            if ticket.browned_out:
+                payload = dict(payload or {})
+                payload["brownout_level"] = ticket.brownout_level
         if self.breakers is not None:
             try:
                 self.breakers.check(target)

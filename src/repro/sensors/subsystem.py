@@ -9,7 +9,7 @@ building's sensor manager builds on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.errors import SensorError
 from repro.sensors.base import Observation, Sensor
@@ -28,6 +28,14 @@ class SensorSubsystem:
         self.name = name
         self._sensors: Dict[str, Sensor] = {}
         self.stalled_samples = 0
+        #: Sensors that failed to answer the most recent sampling pass
+        #: (stalled by a fault plane).  The health supervisor reads this
+        #: to distinguish "did not answer" from "answered with nothing"
+        #: -- an empty room legitimately yields zero observations.
+        self.stalled_last_pass: Set[str] = set()
+        #: Samples skipped because a gate refused the sensor (e.g. a
+        #: quarantined source); never counted as stalls.
+        self.gated_samples = 0
         self._fault_planes: List[StallPlane] = []
 
     # ------------------------------------------------------------------
@@ -95,18 +103,31 @@ class SensorSubsystem:
             count += 1
         return count
 
-    def sample_all(self, now: float, environment: EnvironmentView) -> List[Observation]:
+    def sample_all(
+        self,
+        now: float,
+        environment: EnvironmentView,
+        gate: Optional[Callable[[Sensor], bool]] = None,
+    ) -> List[Observation]:
         """Tick every sensor once and gather their observations.
 
         Sensors stalled by an installed fault plane are skipped for this
         pass (counted in :attr:`stalled_samples`) but stay registered.
+        ``gate`` is consulted first -- before the fault planes, so a
+        gated-out (quarantined) sensor consumes no injector step and
+        cannot be counted as a stall.
         """
         observations: List[Observation] = []
+        self.stalled_last_pass = set()
         for sensor in self._sensors.values():
+            if gate is not None and not gate(sensor):
+                self.gated_samples += 1
+                continue
             if self._fault_planes and any(
                 plane(sensor) for plane in self._fault_planes
             ):
                 self.stalled_samples += 1
+                self.stalled_last_pass.add(sensor.sensor_id)
                 continue
             observations.extend(sensor.sample(now, environment))
         return observations

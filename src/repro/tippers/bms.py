@@ -38,7 +38,11 @@ from repro.tippers.inference import InferenceEngine
 from repro.tippers.policy_manager import PolicyManager
 from repro.tippers.preference_manager import PreferenceManager
 from repro.tippers.request_manager import QueryResponse, RequestManager
-from repro.tippers.sensor_manager import CaptureStats, SensorManager
+from repro.tippers.sensor_manager import (
+    CaptureStats,
+    SensorHealthSupervisor,
+    SensorManager,
+)
 from repro.tippers.social import SocialInference
 from repro.users.profile import UserDirectory, UserProfile
 
@@ -65,6 +69,7 @@ class TIPPERS(Endpoint):
         cache_decisions: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         storage: Optional["StorageEngine"] = None,
+        health_supervisor: Optional[SensorHealthSupervisor] = None,
     ) -> None:
         if building_id not in spatial:
             raise PolicyError("unknown building %r" % building_id)
@@ -103,6 +108,7 @@ class TIPPERS(Endpoint):
             directory=self.directory,
             enforce_capture=enforce_capture,
             metrics=self.metrics,
+            supervisor=health_supervisor,
         )
         self.policy_manager = PolicyManager(
             self.store,
@@ -286,6 +292,34 @@ class TIPPERS(Endpoint):
                     for e in preview.entries
                 ],
             }
+        if method == "dsar_report":
+            from repro.tippers.dsar import subject_access_report
+
+            report = subject_access_report(
+                self, payload["user_id"], payload["now"]
+            )
+            return {
+                "user_id": report.user_id,
+                "observations_total": report.observations_total,
+                "decisions_total": report.decisions_total,
+                "lines": report.summary_lines(),
+            }
+        if method == "dsar_erase":
+            from repro.tippers.dsar import erase_subject
+
+            receipt = erase_subject(
+                self,
+                payload["user_id"],
+                payload["now"],
+                withdraw_preferences=bool(
+                    payload.get("withdraw_preferences", False)
+                ),
+            )
+            return {
+                "user_id": receipt.user_id,
+                "erased_observations": receipt.erased_observations,
+                "withdrawn_preferences": receipt.withdrawn_preferences,
+            }
         if method == "locate_user":
             response = self.locate_user(
                 payload["requester_id"],
@@ -294,6 +328,7 @@ class TIPPERS(Endpoint):
                 payload["now"],
                 purpose=Purpose(payload.get("purpose", "providing_service")),
                 granularity=GranularityLevel(payload.get("granularity", "precise")),
+                brownout_level=int(payload.get("brownout_level", 0)),
             )
             value = response.value
             located: Optional[Dict[str, Any]] = None

@@ -47,6 +47,25 @@ class QueryResponse:
         return QueryResponse(allowed=False, reasons=reasons)
 
 
+def _brownout_granularity(
+    granularity: GranularityLevel, levels: int
+) -> GranularityLevel:
+    """``granularity`` degraded ``levels`` ranks down the lattice.
+
+    The brownout floor is BUILDING-level presence: under overload the
+    building serves *coarser* answers, never silently none, matching
+    the paper's granularity element (precise room -> floor ->
+    building).  Requests already at or below the floor pass through.
+    """
+    if levels <= 0 or granularity.rank <= GranularityLevel.BUILDING.rank:
+        return granularity
+    target = max(GranularityLevel.BUILDING.rank, granularity.rank - levels)
+    for candidate in GranularityLevel:
+        if candidate.rank == target:
+            return candidate
+    return granularity
+
+
 _Q = TypeVar("_Q", bound=Callable)
 
 
@@ -162,15 +181,33 @@ class RequestManager:
         now: float,
         purpose: Purpose = Purpose.PROVIDING_SERVICE,
         granularity: GranularityLevel = GranularityLevel.PRECISE,
+        brownout_level: int = 0,
     ) -> QueryResponse:
         """Where is ``subject_id`` right now?
 
         The decision happens *before* data access; a denied request
         never touches the datastore.  When allowed at a coarser
         granularity, the location is coarsened before release.
+
+        ``brownout_level`` > 0 marks an admission-control brownout: the
+        requested granularity is degraded that many lattice ranks
+        (floored at building-level presence) and the decision is audited
+        with an explicit degradation marker, so browned-out answers stay
+        distinguishable in the audit trail.
         """
         if subject_id not in self._directory:
             raise ServiceError("unknown user %r" % subject_id)
+        notes: Tuple[str, ...] = ()
+        if brownout_level > 0:
+            degraded = _brownout_granularity(granularity, brownout_level)
+            notes = (
+                "brownout degraded response (level %d): granularity %s -> %s"
+                % (brownout_level, granularity.value, degraded.value),
+            )
+            granularity = degraded
+            self.metrics.counter(
+                "brownout_queries_total", {"method": "locate_user"}
+            ).inc()
         try:
             estimate = self._inference.locate(subject_id, now)
         except StorageError as exc:
@@ -185,7 +222,7 @@ class RequestManager:
             purpose,
             granularity,
         )
-        decision = self._engine.decide(request)
+        decision = self._engine.decide(request, notes)
         if not decision.allowed:
             return QueryResponse.denied(decision.resolution.reasons)
         if estimate is None:

@@ -9,6 +9,7 @@ included).  This is steps (2) and (3) of Figure 1.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
@@ -45,6 +46,126 @@ class CaptureStats:
         self.write_failures += other.write_failures
 
 
+@dataclass
+class SensorHealth:
+    """The supervisor's view of one sensor."""
+
+    sensor_id: str
+    consecutive_misses: int = 0
+    quarantined: bool = False
+    quarantines: int = 0
+    probes: int = 0
+    readmissions: int = 0
+
+
+class SensorHealthSupervisor:
+    """Heartbeat-miss detection and quarantine for misbehaving sensors.
+
+    A sensor that fails to *answer* ``miss_threshold`` consecutive
+    sampling passes is quarantined: the capture gate stops sampling it,
+    so a stalled source sheds itself instead of clogging every tick.
+    Missing a heartbeat means the sensor stalled mid-sample (the
+    subsystem's ``stalled_last_pass``), never that it answered with
+    zero observations -- an empty room is a healthy reading.
+
+    While quarantined, each pass runs a seeded re-admission probe: with
+    probability ``probe_rate`` the sensor is sampled again.  A probed
+    sensor that answers is fully re-admitted; one that stalls again is
+    re-quarantined on the very next miss (its miss count restarts one
+    short of the threshold).  All draws come from the supervisor's own
+    seeded RNG, so two same-seed runs quarantine and re-admit the same
+    sensors at the same ticks.
+    """
+
+    def __init__(
+        self,
+        miss_threshold: int = 3,
+        probe_rate: float = 0.25,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if miss_threshold < 1:
+            raise SensorError("miss_threshold must be >= 1")
+        if not 0.0 < probe_rate <= 1.0:
+            raise SensorError("probe_rate must lie in (0, 1]")
+        self.miss_threshold = miss_threshold
+        self.probe_rate = probe_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._health: Dict[str, SensorHealth] = {}
+        self._probed: Dict[str, bool] = {}
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._m_quarantines = self.metrics.counter("quarantine_events_total")
+        self._m_probes = self.metrics.counter("quarantine_probes_total")
+        self._m_readmissions = self.metrics.counter(
+            "quarantine_readmissions_total"
+        )
+        self._m_skipped = self.metrics.counter(
+            "quarantine_skipped_samples_total"
+        )
+        self._m_active = self.metrics.gauge("quarantine_active")
+
+    def health(self, sensor_id: str) -> SensorHealth:
+        record = self._health.get(sensor_id)
+        if record is None:
+            record = self._health[sensor_id] = SensorHealth(sensor_id)
+        return record
+
+    def quarantined(self) -> List[str]:
+        """Currently quarantined sensor ids, sorted."""
+        return sorted(
+            sensor_id
+            for sensor_id, record in self._health.items()
+            if record.quarantined
+        )
+
+    def should_sample(self, sensor: Sensor) -> bool:
+        """The capture gate: sample, or hold in quarantine this pass."""
+        record = self.health(sensor.sensor_id)
+        if not record.quarantined:
+            return True
+        record.probes += 1
+        self._m_probes.inc()
+        if self._rng.random() < self.probe_rate:
+            # Probe: sample once.  Whether it stalls again decides
+            # re-admission in observe_pass.
+            self._probed[sensor.sensor_id] = True
+            return True
+        self._m_skipped.inc()
+        return False
+
+    def observe_pass(self, subsystem: SensorSubsystem) -> None:
+        """Digest one sampling pass of ``subsystem`` into health state."""
+        stalled = subsystem.stalled_last_pass
+        for sensor in subsystem:
+            record = self.health(sensor.sensor_id)
+            probed = self._probed.pop(sensor.sensor_id, False)
+            if record.quarantined and not probed:
+                continue  # held out this pass; nothing observed
+            if sensor.sensor_id in stalled:
+                if probed:
+                    # A failed probe: stay quarantined, one miss from
+                    # the threshold so recovery needs a clean answer.
+                    record.consecutive_misses = self.miss_threshold
+                    continue
+                record.consecutive_misses += 1
+                if record.consecutive_misses >= self.miss_threshold:
+                    record.quarantined = True
+                    record.quarantines += 1
+                    self._m_quarantines.inc()
+                    self.metrics.counter(
+                        "quarantine_events_by_sensor_total",
+                        {"sensor": sensor.sensor_id},
+                    ).inc()
+            else:
+                if record.quarantined:
+                    record.quarantined = False
+                    record.readmissions += 1
+                    self._m_readmissions.inc()
+                record.consecutive_misses = 0
+        self._m_active.set(len(self.quarantined()))
+
+
 class SensorManager:
     """Registers sensors, ticks them, and enforces the capture path."""
 
@@ -55,12 +176,14 @@ class SensorManager:
         directory: Optional[UserDirectory] = None,
         enforce_capture: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        supervisor: Optional[SensorHealthSupervisor] = None,
     ) -> None:
         self._engine = engine
         self._datastore = datastore
         self._directory = directory
         self._subsystems: Dict[str, SensorSubsystem] = {}
         self.enforce_capture = enforce_capture
+        self.supervisor = supervisor
         self.stats = CaptureStats()
         self.metrics = metrics if metrics is not None else get_registry()
         self._m_sampled = self.metrics.counter(
@@ -165,13 +288,18 @@ class SensorManager:
         """Sample every sensor once and run the capture path."""
         start = time.perf_counter()
         tick_stats = CaptureStats()
+        gate = (
+            self.supervisor.should_sample if self.supervisor is not None else None
+        )
         for subsystem in self._subsystems.values():
-            for raw in subsystem.sample_all(now, environment):
+            for raw in subsystem.sample_all(now, environment, gate=gate):
                 tick_stats.sampled += 1
                 observation = self.attribute(raw)
                 stored = self._ingest(observation, tick_stats)
                 if stored is not None:
                     tick_stats.stored += 1
+            if self.supervisor is not None:
+                self.supervisor.observe_pass(subsystem)
         self.stats.merge(tick_stats)
         self._note(tick_stats)
         self._m_ticks.inc()

@@ -17,15 +17,19 @@ VIOLATIONS = {
     "C004": "def f(items=[]):\n    return items\n",
     "C005": "def run(registry):\n    registry.counter('cacheHits')\n",
     "C006": "from repro.tippers.policy_manager import PolicyManager\n",
+    # C007 only applies to the client layers; the fixture routes it
+    # into src/repro/services/ below.
+    "C007": "def f(bus):\n    return bus.call('tippers', 'locate_user', {})\n",
 }
 
 
 @pytest.fixture
 def fixture_tree(tmp_path):
     """A tree with one file per code rule, each seeding one violation."""
-    package = tmp_path / "src" / "repro" / "core"
-    package.mkdir(parents=True)
     for rule_id, source in VIOLATIONS.items():
+        layer = "services" if rule_id == "C007" else "core"
+        package = tmp_path / "src" / "repro" / layer
+        package.mkdir(parents=True, exist_ok=True)
         (package / ("bad_%s.py" % rule_id.lower())).write_text(source)
     return str(tmp_path)
 
@@ -46,7 +50,7 @@ class TestFixtureTree:
         out = capsys.readouterr().out
         for rule_id in VIOLATIONS:
             assert out.count(rule_id) == 1, "expected exactly one %s" % rule_id
-        assert "6 finding(s)" in out
+        assert "7 finding(s)" in out
 
     def test_single_rule_selection(self, capsys, fixture_tree):
         assert main(["lint", "--select", "C003", fixture_tree]) == 1

@@ -34,11 +34,11 @@ def finding(**overrides) -> Finding:
 
 
 class TestRegistry:
-    def test_all_sixteen_rules_registered(self):
+    def test_all_seventeen_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
-        assert {"C001", "C006", "P001", "P010"} <= set(ids)
-        assert len(ids) == 16
+        assert {"C001", "C007", "P001", "P010"} <= set(ids)
+        assert len(ids) == 17
 
     def test_duplicate_registration_rejected(self):
         all_rules()  # ensure analyzers imported
@@ -102,7 +102,9 @@ class TestOrderingAndExit:
 class TestSelection:
     def test_prefix_expansion(self):
         chosen = expand_selection("C")
-        assert chosen == {"C001", "C002", "C003", "C004", "C005", "C006"}
+        assert chosen == {
+            "C001", "C002", "C003", "C004", "C005", "C006", "C007",
+        }
 
     def test_exact_and_mixed(self):
         assert expand_selection("C003,P001") == {"C003", "P001"}

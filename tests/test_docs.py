@@ -89,6 +89,44 @@ class TestResilienceDocExamples:
         event = trace.record(42, "bus", FaultKind.DROP, "irr-1", "method=discover")
         assert event.line() in text
 
+    def test_documented_overload_defaults_match_the_code(self):
+        from repro.net.admission import AdmissionController
+        from repro.tippers.sensor_manager import SensorHealthSupervisor
+
+        text = (DOCS.parent / "RESILIENCE.md").read_text()
+        controller = AdmissionController()
+        assert "capacity `%d`" % controller.queue_capacity in text
+        assert "**high watermark**\n(`%g`)" % controller.high_watermark in text
+        assert "**shed watermark** (`%g`)" % controller.shed_watermark in text
+        assert (
+            "capacity `%g`, refill `%g`/step"
+            % (controller.principal_capacity,
+               controller.principal_refill_per_step)
+            in text
+        )
+        supervisor = SensorHealthSupervisor()
+        assert "miss threshold `%d`" % supervisor.miss_threshold in text
+        assert "probe rate\n`%g`" % supervisor.probe_rate in text
+
+    def test_documented_priority_classes_match_the_code(self):
+        from repro.net.admission import DEFAULT_METHOD_PRIORITIES, Priority
+
+        text = (DOCS.parent / "RESILIENCE.md").read_text()
+        table_rows = [
+            line for line in text.splitlines()
+            if line.startswith("| `CRITICAL`")
+            or line.startswith("| `NORMAL`")
+            or line.startswith("| `DEFERRABLE`")
+        ]
+        assert len(table_rows) == 3
+        for row in table_rows:
+            priority = Priority[row.split("`")[1]]
+            for method in re.findall(r"`([a-z_]+)`", row.split("|")[2]):
+                assert DEFAULT_METHOD_PRIORITIES[method] is priority, (
+                    "doc lists %r as %s but the code says %s"
+                    % (method, priority, DEFAULT_METHOD_PRIORITIES[method])
+                )
+
 
 class TestStorageDocExamples:
     """docs/STORAGE.md's worked examples must stay true to the code."""

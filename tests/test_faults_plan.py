@@ -157,6 +157,7 @@ class TestNamedPlans:
             "lossy",
             "monkey",
             "policy-outage",
+            "rush-hour",
             "torn-storage",
         )
 

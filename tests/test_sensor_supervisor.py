@@ -1,0 +1,182 @@
+"""Unit tests for the sensor health supervisor (quarantine cycle)."""
+
+import pytest
+
+from repro.errors import SensorError
+from repro.obs.metrics import MetricsRegistry
+from repro.sensors.subsystem import SensorSubsystem
+from repro.tippers.sensor_manager import SensorHealthSupervisor
+
+
+class FakeSensor:
+    """The minimal surface the subsystem and supervisor touch."""
+
+    def __init__(self, sensor_id):
+        self.sensor_id = sensor_id
+        self.sensor_type = "fake"
+        self.subsystem = "fakes"
+
+    def sample(self, now, environment):
+        return []
+
+
+def make_subsystem(*sensor_ids):
+    subsystem = SensorSubsystem("fakes")
+    for sensor_id in sensor_ids:
+        subsystem.add(FakeSensor(sensor_id))
+    return subsystem
+
+
+def run_pass(subsystem, supervisor, stall=()):
+    """One sampling pass: gate, stall the named sensors, digest health."""
+    plane_calls = []
+
+    def plane(sensor):
+        plane_calls.append(sensor.sensor_id)
+        return sensor.sensor_id in stall
+
+    subsystem.install_fault_plane(plane)
+    try:
+        subsystem.sample_all(0.0, None, gate=supervisor.should_sample)
+    finally:
+        subsystem.remove_fault_plane(plane)
+    supervisor.observe_pass(subsystem)
+    return plane_calls
+
+
+class TestValidation:
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(SensorError):
+            SensorHealthSupervisor(miss_threshold=0)
+        with pytest.raises(SensorError):
+            SensorHealthSupervisor(probe_rate=0.0)
+        with pytest.raises(SensorError):
+            SensorHealthSupervisor(probe_rate=1.5)
+
+
+class TestQuarantine:
+    def test_quarantines_after_threshold_consecutive_misses(self):
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=3, metrics=MetricsRegistry()
+        )
+        subsystem = make_subsystem("ap-01", "ap-02")
+        for _ in range(2):
+            run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert supervisor.quarantined() == []
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert supervisor.quarantined() == ["ap-01"]
+        assert supervisor.health("ap-01").quarantines == 1
+        assert supervisor.health("ap-02").consecutive_misses == 0
+
+    def test_an_answer_resets_the_miss_streak(self):
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=3, metrics=MetricsRegistry()
+        )
+        subsystem = make_subsystem("ap-01")
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        run_pass(subsystem, supervisor)  # heartbeat lands
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert supervisor.quarantined() == []
+
+    def test_empty_output_is_not_a_heartbeat_miss(self):
+        """An empty room is a healthy reading -- only stalls count."""
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=1, metrics=MetricsRegistry()
+        )
+        subsystem = make_subsystem("ap-01")  # FakeSensor answers []
+        for _ in range(5):
+            run_pass(subsystem, supervisor)
+        assert supervisor.quarantined() == []
+
+
+class TestProbeAndReadmission:
+    def test_quarantined_sensor_is_gated_out(self):
+        metrics = MetricsRegistry()
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=1, probe_rate=0.5, seed=3, metrics=metrics
+        )
+        subsystem = make_subsystem("ap-01")
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert supervisor.quarantined() == ["ap-01"]
+        gated_before = subsystem.gated_samples
+        for _ in range(20):
+            run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert subsystem.gated_samples > gated_before
+        assert metrics.total("quarantine_skipped_samples_total") > 0
+        assert metrics.total("quarantine_probes_total") == 20
+
+    def test_gated_sensor_consumes_no_injector_step(self):
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=1, probe_rate=0.5, seed=1, metrics=MetricsRegistry()
+        )
+        subsystem = make_subsystem("ap-01")
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        held, probed = 0, 0
+        for _ in range(30):
+            plane_calls = run_pass(subsystem, supervisor, stall=("ap-01",))
+            if plane_calls:
+                probed += 1
+            else:
+                held += 1  # the fault plane never saw the sensor
+        assert held > 0 and probed > 0
+
+    def test_failed_probe_stays_quarantined_until_a_clean_answer(self):
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=3, probe_rate=1.0, seed=0, metrics=MetricsRegistry()
+        )
+        subsystem = make_subsystem("ap-01")
+        for _ in range(3):
+            run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert supervisor.quarantined() == ["ap-01"]
+        # probe_rate=1.0: every pass probes; the stall continues.
+        for _ in range(5):
+            run_pass(subsystem, supervisor, stall=("ap-01",))
+        assert supervisor.quarantined() == ["ap-01"]
+        assert supervisor.health("ap-01").probes == 5
+        # The stall clears: the next probe answers and re-admits.
+        run_pass(subsystem, supervisor)
+        assert supervisor.quarantined() == []
+        assert supervisor.health("ap-01").readmissions == 1
+        assert supervisor.health("ap-01").consecutive_misses == 0
+
+    def test_readmission_is_metered(self):
+        metrics = MetricsRegistry()
+        supervisor = SensorHealthSupervisor(
+            miss_threshold=1, probe_rate=1.0, metrics=metrics
+        )
+        subsystem = make_subsystem("ap-01")
+        run_pass(subsystem, supervisor, stall=("ap-01",))
+        run_pass(subsystem, supervisor)
+        assert metrics.total("quarantine_events_total") == 1
+        assert metrics.total("quarantine_readmissions_total") == 1
+        assert metrics.total(
+            "quarantine_events_by_sensor_total", {"sensor": "ap-01"}
+        ) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_probes_identically(self):
+        def run(seed):
+            supervisor = SensorHealthSupervisor(
+                miss_threshold=1, probe_rate=0.3, seed=seed,
+                metrics=MetricsRegistry(),
+            )
+            subsystem = make_subsystem("ap-01")
+            run_pass(subsystem, supervisor, stall=("ap-01",))
+            log = []
+            for tick in range(40):
+                stall = ("ap-01",) if tick < 20 else ()
+                run_pass(subsystem, supervisor, stall=stall)
+                log.append(
+                    (tuple(supervisor.quarantined()),
+                     supervisor.health("ap-01").probes)
+                )
+            return log
+
+        first = run(11)
+        assert first == run(11)
+        assert first != run(12)
+        # The sensor must eventually be re-admitted once the stall ends.
+        assert first[-1][0] == ()
