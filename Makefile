@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke lint obs chaos recover overload
+.PHONY: test test-fast bench-smoke bench soak lint obs chaos recover overload
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -21,6 +21,23 @@ bench-smoke:
 	          benchmarks/test_scale_enforcement.py \
 	          benchmarks/test_ablation_cache.py \
 	          --benchmark-disable -q -s
+
+# Perf trajectory: the bench test suite, then a fresh ci-scale run
+# written to BENCH_PR.json (the CI artifact; never a baseline) and
+# gated against the last committed BENCH_<n>.json record.
+bench:
+	$(PYTEST) -x -q tests/test_bench_schema.py tests/test_bench_cli.py
+	PYTHONPATH=src $(PYTHON) -m repro bench run --scale ci --out BENCH_PR.json
+	PYTHONPATH=src $(PYTHON) -m repro bench compare --candidate BENCH_PR.json
+
+# Capacity soak: the soak test suite, then two same-seed stepped-
+# population runs whose deterministic reports must be byte-identical.
+soak:
+	$(PYTEST) -x -q tests/test_capacity_soak.py \
+	          tests/property/test_prop_admission.py
+	PYTHONPATH=src $(PYTHON) -m repro soak --report-out /tmp/repro-soak-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro soak --report-out /tmp/repro-soak-b.txt
+	diff /tmp/repro-soak-a.txt /tmp/repro-soak-b.txt
 
 # Static analysis: audit the DBH policy set, then code-lint the tree.
 lint:

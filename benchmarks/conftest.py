@@ -45,8 +45,12 @@ def metrics_baseline():
         return
     out_path = os.environ.get("REPRO_METRICS_OUT")
     if out_path:
-        with open(out_path, "w") as handle:
+        # Atomic write: an interrupted run must never leave a truncated
+        # snapshot where a complete one is expected.
+        tmp_path = out_path + ".tmp"
+        with open(tmp_path, "w") as handle:
             json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(tmp_path, out_path)
         lines = lines + ["(snapshot written to %s)" % out_path]
     report("metric baseline (default registry, whole session)", lines)

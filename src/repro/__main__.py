@@ -39,6 +39,18 @@ overload [--plan NAME] [--seed N] [--population N] [--ticks N] [--json]
 recover --dir PATH [--json]
     Replay an existing storage directory (snapshot + WAL) and print the
     recovery report without mutating it.
+bench run|record|compare
+    The recorded perf trajectory.  ``run`` executes the scale suite and
+    prints (or writes) a schema-validated record; ``record`` appends it
+    as the next ``BENCH_<n>.json`` on the trajectory; ``compare`` gates
+    a fresh run (or a given candidate file) against the last committed
+    record with per-metric tolerances -- exit 0 on pass, 1 on
+    regression, 2 when no baseline/usage error.
+soak [--populations CSV] [--seed N] [--ticks N] [--json] [--report-out PATH]
+    The stepped-population capacity soak: find the max sustainable
+    population under the latency/memory ceilings.  The report is
+    seeded and byte-reproducible.  Exit 0 when some step is
+    sustainable, 1 when none is.
 """
 
 from __future__ import annotations
@@ -325,6 +337,157 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import bench
+    from repro.errors import BenchError
+
+    try:
+        record = bench.run_suite(
+            scale=args.scale,
+            label=args.label,
+            progress=lambda name: print("running %s ..." % name,
+                                        file=sys.stderr),
+        )
+    except BenchError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.out:
+        try:
+            bench.write_record(record, args.out)
+        except BenchError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        print("record written to %s" % args.out)
+        return 0
+    if args.json:
+        sys.stdout.write(record.dumps())
+    else:
+        for line in _bench_lines(record):
+            print(line)
+    return 0
+
+
+def _bench_lines(record) -> List[str]:
+    lines = [
+        "bench record: scale=%s label=%s peak_rss_kb=%d"
+        % (record.scale, record.label or "-", record.peak_rss_kb),
+    ]
+    for name, entry in sorted(record.benchmarks.items()):
+        latency = entry.decision_latency
+        lines.append(
+            "  %-22s p50=%-10.3fus p99=%-10.3fus throughput=%-12.1f/s "
+            "shed=%.4f brownout=%.4f wal=%dB"
+            % (name, latency.p50_us, latency.p99_us,
+               entry.ingest_throughput_per_s, entry.shed_rate,
+               entry.brownout_rate, entry.wal_bytes)
+        )
+    return lines
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro import bench
+    from repro.errors import BenchError
+
+    try:
+        record = bench.run_suite(
+            scale=args.scale,
+            label=args.label,
+            progress=lambda name: print("running %s ..." % name,
+                                        file=sys.stderr),
+        )
+        numbered, path = bench.append_record(record, args.dir)
+    except BenchError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print("recorded BENCH_%04d at %s" % (numbered.record_id, path))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import bench
+    from repro.errors import BenchError
+
+    try:
+        if args.baseline:
+            baseline = bench.load_record(args.baseline)
+        else:
+            baseline = bench.latest_record(args.dir)
+        if baseline is None:
+            print("error: no BENCH_<n>.json baseline in %s" % args.dir,
+                  file=sys.stderr)
+            return 2
+        if args.candidate:
+            candidate = bench.load_record(args.candidate)
+        else:
+            candidate = bench.run_suite(
+                scale=args.scale,
+                label="compare-candidate",
+                progress=lambda name: print("running %s ..." % name,
+                                            file=sys.stderr),
+            )
+        tolerances = bench.Tolerances(
+            latency_factor=args.latency_tolerance,
+            throughput_factor=args.throughput_tolerance,
+            rate_slack=args.rate_slack,
+        )
+        report = bench.compare_records(baseline, candidate, tolerances)
+    except BenchError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in report.lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.simulation.longrun import SOAK_POPULATIONS, run_capacity_soak
+
+    populations = SOAK_POPULATIONS
+    if args.populations:
+        try:
+            populations = tuple(
+                int(token) for token in args.populations.split(",") if token
+            )
+        except ValueError:
+            print("error: --populations must be a CSV of integers",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = run_capacity_soak(
+            populations=populations,
+            seed=args.seed,
+            ticks=args.ticks,
+            active_cap=args.active_cap,
+            latency_ceiling_us=args.latency_ceiling_us,
+            memory_ceiling_mb=args.memory_ceiling_mb,
+        )
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(report.report_text())
+    if args.report_out:
+        try:
+            with open(args.report_out, "w") as handle:
+                handle.write(report.report_text())
+        except OSError as error:
+            print("error: cannot write %s: %s" % (args.report_out, error),
+                  file=sys.stderr)
+            return 2
+    return 0 if report.max_sustainable_population > 0 else 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -441,6 +604,92 @@ def main(argv: Optional[List[str]] = None) -> int:
     recover.add_argument("--json", action="store_true",
                          help="print the report as JSON")
     recover.set_defaults(func=_cmd_recover)
+
+    bench = subparsers.add_parser(
+        "bench", help="run/record/compare the perf trajectory"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run the scale suite and print the record"
+    )
+    bench_run.add_argument(
+        "--scale", choices=("smoke", "ci", "full"), default="ci",
+        help="workload sizing preset (default: ci)",
+    )
+    bench_run.add_argument("--label", default="",
+                           help="free-form label stored in the record")
+    bench_run.add_argument("--json", action="store_true",
+                           help="print the raw record JSON")
+    bench_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the record to PATH instead of printing",
+    )
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_record = bench_sub.add_parser(
+        "record", help="append the next BENCH_<n>.json to the trajectory"
+    )
+    bench_record.add_argument(
+        "--scale", choices=("smoke", "ci", "full"), default="ci",
+    )
+    bench_record.add_argument("--label", default="")
+    bench_record.add_argument(
+        "--dir", default=".",
+        help="trajectory directory (default: current directory)",
+    )
+    bench_record.set_defaults(func=_cmd_bench_record)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="gate a candidate against the latest committed record"
+    )
+    bench_compare.add_argument(
+        "--dir", default=".",
+        help="trajectory directory holding BENCH_<n>.json (default: .)",
+    )
+    bench_compare.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="explicit baseline record (default: latest in --dir)",
+    )
+    bench_compare.add_argument(
+        "--candidate", default=None, metavar="PATH",
+        help="candidate record file (default: run the suite fresh)",
+    )
+    bench_compare.add_argument(
+        "--scale", choices=("smoke", "ci", "full"), default="ci",
+        help="scale for the fresh candidate run (default: ci)",
+    )
+    bench_compare.add_argument("--latency-tolerance", type=float, default=3.0,
+                               help="max latency growth factor (default: 3)")
+    bench_compare.add_argument("--throughput-tolerance", type=float,
+                               default=3.0,
+                               help="max throughput shrink factor (default: 3)")
+    bench_compare.add_argument("--rate-slack", type=float, default=0.10,
+                               help="absolute shed/brownout slack (default: 0.1)")
+    bench_compare.add_argument("--json", action="store_true",
+                               help="print the comparison as JSON")
+    bench_compare.set_defaults(func=_cmd_bench_compare)
+
+    soak = subparsers.add_parser(
+        "soak", help="stepped-population capacity soak"
+    )
+    soak.add_argument(
+        "--populations", default=None, metavar="CSV",
+        help="comma-separated population steps (default: 1000,10000,100000,1000000)",
+    )
+    soak.add_argument("--seed", type=int, default=17)
+    soak.add_argument("--ticks", type=_positive_int, default=6)
+    soak.add_argument("--active-cap", type=_positive_int, default=200,
+                      help="max simulated principals per step (default: 200)")
+    soak.add_argument("--latency-ceiling-us", type=float, default=5000.0)
+    soak.add_argument("--memory-ceiling-mb", type=float, default=2048.0)
+    soak.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    soak.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the deterministic report text here",
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,236 @@
+"""Gate a candidate bench record against a committed baseline.
+
+The comparison is per-metric with direction-aware tolerances:
+
+- **Latency** (p50/p99 decision latency) may grow by at most
+  ``latency_factor``; a floor (``latency_floor_us``) keeps sub-
+  microsecond jitter from failing builds on noisy CI machines.
+- **Throughput** may shrink by at most ``throughput_factor``.
+- **Rates** (shed/brownout) are deterministic per seed, so they get an
+  absolute slack, not a factor.
+- **WAL bytes** may grow by at most ``wal_factor`` (plus a fixed slack
+  for segment-boundary wobble), and must not silently drop to zero.
+- **Peak RSS** may grow by at most ``rss_factor``.
+
+``compare_records`` never raises on a regression -- it returns a report
+whose ``ok`` drives the CLI exit code (0 pass, 1 regression), keeping
+the CI gate's contract explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.schema import BenchRecord
+
+#: Below this many microseconds, latency differences are noise.
+DEFAULT_LATENCY_FLOOR_US = 100.0
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Per-metric regression tolerances (see module docstring)."""
+
+    latency_factor: float = 3.0
+    throughput_factor: float = 3.0
+    rate_slack: float = 0.10
+    wal_factor: float = 1.5
+    wal_slack_bytes: int = 65536
+    rss_factor: float = 3.0
+    latency_floor_us: float = DEFAULT_LATENCY_FLOOR_US
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's pass/fail against the baseline."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    candidate: float
+    limit: float
+    ok: bool
+    detail: str = ""
+
+    def line(self) -> str:
+        status = "ok        " if self.ok else "REGRESSED "
+        return "%s %-24s %-28s baseline=%-12.6g candidate=%-12.6g limit=%.6g%s" % (
+            status,
+            self.benchmark,
+            self.metric,
+            self.baseline,
+            self.candidate,
+            self.limit,
+            (" (%s)" % self.detail) if self.detail else "",
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Every verdict of one baseline-vs-candidate comparison."""
+
+    baseline_id: int
+    candidate_label: str
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def lines(self) -> List[str]:
+        lines = [
+            "bench compare: baseline=BENCH_%04d candidate=%s"
+            % (self.baseline_id, self.candidate_label or "<fresh run>"),
+        ]
+        lines.extend(v.line() for v in self.verdicts)
+        lines.append(
+            "result: %s (%d metrics, %d regressed)"
+            % ("OK" if self.ok else "REGRESSED", len(self.verdicts),
+               len(self.regressions))
+        )
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline_id": self.baseline_id,
+            "candidate_label": self.candidate_label,
+            "ok": self.ok,
+            "verdicts": [
+                {
+                    "benchmark": v.benchmark,
+                    "metric": v.metric,
+                    "baseline": v.baseline,
+                    "candidate": v.candidate,
+                    "limit": v.limit,
+                    "ok": v.ok,
+                    "detail": v.detail,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+
+def _upper_bound(
+    report: ComparisonReport,
+    benchmark: str,
+    metric: str,
+    baseline: float,
+    candidate: float,
+    limit: float,
+    detail: str = "",
+) -> None:
+    report.verdicts.append(
+        MetricVerdict(
+            benchmark=benchmark,
+            metric=metric,
+            baseline=baseline,
+            candidate=candidate,
+            limit=limit,
+            ok=candidate <= limit,
+            detail=detail,
+        )
+    )
+
+
+def _lower_bound(
+    report: ComparisonReport,
+    benchmark: str,
+    metric: str,
+    baseline: float,
+    candidate: float,
+    limit: float,
+    detail: str = "",
+) -> None:
+    report.verdicts.append(
+        MetricVerdict(
+            benchmark=benchmark,
+            metric=metric,
+            baseline=baseline,
+            candidate=candidate,
+            limit=limit,
+            ok=candidate >= limit,
+            detail=detail,
+        )
+    )
+
+
+def compare_records(
+    baseline: BenchRecord,
+    candidate: BenchRecord,
+    tolerances: Tolerances = Tolerances(),
+) -> ComparisonReport:
+    """Every baseline metric checked against ``candidate``."""
+    report = ComparisonReport(
+        baseline_id=baseline.record_id,
+        candidate_label=candidate.label or ("record %d" % candidate.record_id),
+    )
+    for name, base in sorted(baseline.benchmarks.items()):
+        cand = candidate.benchmarks.get(name)
+        if cand is None:
+            report.verdicts.append(
+                MetricVerdict(
+                    benchmark=name,
+                    metric="present",
+                    baseline=1.0,
+                    candidate=0.0,
+                    limit=1.0,
+                    ok=False,
+                    detail="benchmark missing from candidate",
+                )
+            )
+            continue
+        for which in ("p50_us", "p99_us"):
+            base_value = getattr(base.decision_latency, which)
+            cand_value = getattr(cand.decision_latency, which)
+            limit = max(
+                base_value * tolerances.latency_factor,
+                tolerances.latency_floor_us,
+            )
+            _upper_bound(
+                report, name, "decision_latency.%s" % which,
+                base_value, cand_value, limit,
+                detail="factor %g, floor %gus"
+                % (tolerances.latency_factor, tolerances.latency_floor_us),
+            )
+        _lower_bound(
+            report, name, "ingest_throughput_per_s",
+            base.ingest_throughput_per_s,
+            cand.ingest_throughput_per_s,
+            base.ingest_throughput_per_s / tolerances.throughput_factor,
+            detail="factor %g" % tolerances.throughput_factor,
+        )
+        for rate_name in ("shed_rate", "brownout_rate"):
+            base_rate = getattr(base, rate_name)
+            cand_rate = getattr(cand, rate_name)
+            _upper_bound(
+                report, name, "%s.delta" % rate_name,
+                base_rate, cand_rate,
+                base_rate + tolerances.rate_slack,
+                detail="abs slack %g" % tolerances.rate_slack,
+            )
+        if base.wal_bytes:
+            _upper_bound(
+                report, name, "wal_bytes",
+                float(base.wal_bytes), float(cand.wal_bytes),
+                base.wal_bytes * tolerances.wal_factor
+                + tolerances.wal_slack_bytes,
+                detail="factor %g" % tolerances.wal_factor,
+            )
+            _lower_bound(
+                report, name, "wal_bytes.nonzero",
+                float(base.wal_bytes), float(cand.wal_bytes), 1.0,
+                detail="durability must not silently vanish",
+            )
+    if baseline.peak_rss_kb:
+        _upper_bound(
+            report, "<record>", "peak_rss_kb",
+            float(baseline.peak_rss_kb), float(candidate.peak_rss_kb),
+            baseline.peak_rss_kb * tolerances.rss_factor,
+            detail="factor %g" % tolerances.rss_factor,
+        )
+    return report

@@ -1,0 +1,291 @@
+"""The versioned ``BENCH_<n>.json`` record schema.
+
+One record is one run of the scale-benchmark suite (the library twins
+of ``benchmarks/test_scale_*``): per-benchmark p50/p99 decision latency
+and ingest throughput, the overload shed/brownout rates, WAL bytes, and
+the process peak RSS.  Records are committed to the repo as
+``BENCH_0001.json``, ``BENCH_0002.json``, ... -- the recorded perf
+trajectory future PRs must not regress (see ``docs/BENCHMARKS.md``).
+
+Design constraints:
+
+- **Versioned and validated.**  ``BENCH_SCHEMA_VERSION`` is checked
+  before anything else; a record from a newer build is rejected, never
+  misread.  Every numeric field is validated on load *and* dump --
+  NaN, infinities, and negative latencies cannot enter the trajectory.
+- **Deterministic serialization.**  ``dumps`` is sorted-key indented
+  JSON with a trailing newline, so records diff cleanly in review.
+- **Stdlib only**, like the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import BenchError
+
+#: Bump when the record shape changes; ``from_dict`` rejects others.
+BENCH_SCHEMA_VERSION = 1
+
+#: Every record must carry exactly these benchmarks -- the library
+#: twins of the ``benchmarks/test_scale_*`` suite, in SCALE order.
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    "scale_enforcement",
+    "scale_ingest",
+    "scale_notifications",
+    "scale_week",
+    "scale_overload",
+)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchError(message)
+
+
+def _finite(value: Any, name: str, minimum: float = 0.0) -> float:
+    """``value`` as a float, rejecting NaN/inf/below-minimum."""
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        "%s must be a number, got %r" % (name, value),
+    )
+    number = float(value)
+    _require(math.isfinite(number), "%s must be finite, got %r" % (name, value))
+    _require(number >= minimum, "%s must be >= %g, got %g" % (name, minimum, number))
+    return number
+
+
+def _non_negative_int(value: Any, name: str) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        "%s must be an integer, got %r" % (name, value),
+    )
+    _require(value >= 0, "%s must be >= 0, got %d" % (name, value))
+    return value
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p99 (plus mean/max) of one latency distribution, microseconds."""
+
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    max_us: float
+    count: int
+
+    def validate(self, context: str) -> None:
+        for name in ("p50_us", "p99_us", "mean_us", "max_us"):
+            _finite(getattr(self, name), "%s.%s" % (context, name))
+        _non_negative_int(self.count, "%s.count" % context)
+        _require(self.count >= 1, "%s.count must be >= 1" % context)
+        _require(
+            self.p50_us <= self.p99_us,
+            "%s: p50 (%g) exceeds p99 (%g)" % (context, self.p50_us, self.p99_us),
+        )
+        _require(
+            self.p99_us <= self.max_us,
+            "%s: p99 (%g) exceeds max (%g)" % (context, self.p99_us, self.max_us),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], context: str) -> "LatencySummary":
+        _require(isinstance(data, Mapping), "%s must be an object" % context)
+        for key in ("p50_us", "p99_us", "mean_us", "max_us", "count"):
+            _require(key in data, "%s is missing %r" % (context, key))
+        summary = cls(
+            p50_us=_finite(data["p50_us"], "%s.p50_us" % context),
+            p99_us=_finite(data["p99_us"], "%s.p99_us" % context),
+            mean_us=_finite(data["mean_us"], "%s.mean_us" % context),
+            max_us=_finite(data["max_us"], "%s.max_us" % context),
+            count=_non_negative_int(data["count"], "%s.count" % context),
+        )
+        summary.validate(context)
+        return summary
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One benchmark's metrics inside a record."""
+
+    name: str
+    decision_latency: LatencySummary
+    ingest_throughput_per_s: float
+    shed_rate: float = 0.0
+    brownout_rate: float = 0.0
+    wal_bytes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        context = "benchmarks[%s]" % self.name
+        _require(bool(self.name), "benchmark name must be non-empty")
+        self.decision_latency.validate("%s.decision_latency" % context)
+        throughput = _finite(
+            self.ingest_throughput_per_s, "%s.ingest_throughput_per_s" % context
+        )
+        _require(
+            throughput > 0.0,
+            "%s.ingest_throughput_per_s must be > 0" % context,
+        )
+        for rate_name in ("shed_rate", "brownout_rate"):
+            rate = _finite(getattr(self, rate_name), "%s.%s" % (context, rate_name))
+            _require(
+                rate <= 1.0, "%s.%s must be <= 1, got %g" % (context, rate_name, rate)
+            )
+        _non_negative_int(self.wal_bytes, "%s.wal_bytes" % context)
+        for key, value in self.extra.items():
+            _require(
+                isinstance(key, str) and bool(key),
+                "%s.extra keys must be non-empty strings" % context,
+            )
+            _finite(value, "%s.extra[%s]" % (context, key), minimum=-math.inf)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "decision_latency": self.decision_latency.to_dict(),
+            "ingest_throughput_per_s": self.ingest_throughput_per_s,
+            "shed_rate": self.shed_rate,
+            "brownout_rate": self.brownout_rate,
+            "wal_bytes": self.wal_bytes,
+            "extra": dict(sorted(self.extra.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], name: str) -> "BenchmarkEntry":
+        context = "benchmarks[%s]" % name
+        _require(isinstance(data, Mapping), "%s must be an object" % context)
+        _require(
+            data.get("name") == name,
+            "%s: entry name %r disagrees with its key" % (context, data.get("name")),
+        )
+        for key in ("decision_latency", "ingest_throughput_per_s"):
+            _require(key in data, "%s is missing %r" % (context, key))
+        extra_raw = data.get("extra", {})
+        _require(
+            isinstance(extra_raw, Mapping), "%s.extra must be an object" % context
+        )
+        entry = cls(
+            name=name,
+            decision_latency=LatencySummary.from_dict(
+                data["decision_latency"], "%s.decision_latency" % context
+            ),
+            ingest_throughput_per_s=_finite(
+                data["ingest_throughput_per_s"],
+                "%s.ingest_throughput_per_s" % context,
+            ),
+            shed_rate=_finite(data.get("shed_rate", 0.0), "%s.shed_rate" % context),
+            brownout_rate=_finite(
+                data.get("brownout_rate", 0.0), "%s.brownout_rate" % context
+            ),
+            wal_bytes=_non_negative_int(
+                data.get("wal_bytes", 0), "%s.wal_bytes" % context
+            ),
+            extra={str(k): float(v) for k, v in extra_raw.items()},
+        )
+        entry.validate()
+        return entry
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One point on the perf trajectory: a full suite run."""
+
+    version: int
+    record_id: int
+    scale: str
+    label: str
+    peak_rss_kb: int
+    benchmarks: Dict[str, BenchmarkEntry]
+
+    def validate(self) -> None:
+        _require(
+            self.version == BENCH_SCHEMA_VERSION,
+            "unknown bench record version %r (this build understands %d)"
+            % (self.version, BENCH_SCHEMA_VERSION),
+        )
+        _non_negative_int(self.record_id, "record_id")
+        _require(bool(self.scale), "scale must be a non-empty string")
+        _require(isinstance(self.label, str), "label must be a string")
+        _non_negative_int(self.peak_rss_kb, "peak_rss_kb")
+        missing = [n for n in BENCHMARK_NAMES if n not in self.benchmarks]
+        _require(not missing, "record is missing benchmarks: %s" % ", ".join(missing))
+        unknown = [n for n in self.benchmarks if n not in BENCHMARK_NAMES]
+        _require(not unknown, "record has unknown benchmarks: %s" % ", ".join(unknown))
+        for name, entry in self.benchmarks.items():
+            _require(
+                entry.name == name,
+                "benchmarks[%s] entry is named %r" % (name, entry.name),
+            )
+            entry.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        self.validate()
+        return {
+            "version": self.version,
+            "record_id": self.record_id,
+            "scale": self.scale,
+            "label": self.label,
+            "peak_rss_kb": self.peak_rss_kb,
+            "benchmarks": {
+                name: self.benchmarks[name].to_dict() for name in BENCHMARK_NAMES
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchRecord":
+        _require(isinstance(data, Mapping), "bench record must be a JSON object")
+        # Version gate first: nothing else is interpreted before it.
+        _require("version" in data, "bench record is missing 'version'")
+        version = data["version"]
+        _require(
+            version == BENCH_SCHEMA_VERSION,
+            "unknown bench record version %r (this build understands %d)"
+            % (version, BENCH_SCHEMA_VERSION),
+        )
+        for key in ("record_id", "scale", "benchmarks"):
+            _require(key in data, "bench record is missing %r" % key)
+        benchmarks_raw = data["benchmarks"]
+        _require(
+            isinstance(benchmarks_raw, Mapping),
+            "bench record 'benchmarks' must be an object",
+        )
+        record = cls(
+            version=version,
+            record_id=_non_negative_int(data["record_id"], "record_id"),
+            scale=str(data["scale"]),
+            label=str(data.get("label", "")),
+            peak_rss_kb=_non_negative_int(
+                data.get("peak_rss_kb", 0), "peak_rss_kb"
+            ),
+            benchmarks={
+                str(name): BenchmarkEntry.from_dict(entry, str(name))
+                for name, entry in benchmarks_raw.items()
+            },
+        )
+        record.validate()
+        return record
+
+    def dumps(self) -> str:
+        """Deterministic sorted-key JSON, trailing newline included."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "BenchRecord":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise BenchError("bench record is not valid JSON: %s" % error)
+        return cls.from_dict(data)

@@ -1,0 +1,447 @@
+"""The measured workloads behind the bench trajectory.
+
+Each workload is the library twin of one ``benchmarks/test_scale_*``
+benchmark: same construction, same traffic shape, but driven directly
+(no pytest) under a fresh :class:`~repro.obs.MetricsRegistry` so its
+latency histograms can be exported per benchmark instead of smeared
+into one session-wide ``REPRO_METRICS_OUT`` snapshot.  Decision latency
+comes from the obs layer's ``enforcement_decide_seconds`` histogram
+wherever the workload drives the enforcement engine; the notification
+sweep times its accept/ignore decision directly (it is the decision on
+that path).
+
+Wall-clock numbers here are intentionally *not* deterministic -- that
+is what the per-metric tolerances in :mod:`repro.bench.compare` are
+for.  The deterministic counterpart is the capacity soak harness in
+:mod:`repro.simulation.longrun`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro import obs
+from repro.bench.schema import BenchmarkEntry, LatencySummary
+from repro.errors import BenchError
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import NullTracer
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Iteration counts for one suite scale (smoke < ci < full)."""
+
+    name: str
+    enforcement_users: int
+    enforcement_requests: int
+    linear_users: int
+    linear_requests: int
+    ingest_population: int
+    ingest_ticks: int
+    notification_repeats: int
+    week_days: int
+    week_population: int
+    week_ticks_per_day: int
+    overload_population: int
+    overload_ticks: int
+
+
+#: ``smoke`` keeps the unit-test suite fast, ``ci`` is what the bench
+#: CI job records, ``full`` mirrors the pytest benchmark parameters.
+SCALES: Dict[str, ScalePreset] = {
+    preset.name: preset
+    for preset in (
+        ScalePreset(
+            name="smoke",
+            enforcement_users=50, enforcement_requests=400,
+            linear_users=50, linear_requests=100,
+            ingest_population=6, ingest_ticks=2,
+            notification_repeats=3,
+            week_days=1, week_population=6, week_ticks_per_day=4,
+            overload_population=4, overload_ticks=6,
+        ),
+        ScalePreset(
+            name="ci",
+            enforcement_users=300, enforcement_requests=2000,
+            linear_users=200, linear_requests=300,
+            ingest_population=20, ingest_ticks=4,
+            notification_repeats=20,
+            week_days=2, week_population=10, week_ticks_per_day=8,
+            overload_population=8, overload_ticks=12,
+        ),
+        ScalePreset(
+            name="full",
+            enforcement_users=1000, enforcement_requests=10000,
+            linear_users=1000, linear_requests=300,
+            ingest_population=40, ingest_ticks=12,
+            notification_repeats=50,
+            week_days=8, week_population=24, week_ticks_per_day=16,
+            overload_population=12, overload_ticks=16,
+        ),
+    )
+}
+
+
+def resolve_scale(name: str) -> ScalePreset:
+    preset = SCALES.get(name)
+    if preset is None:
+        raise BenchError(
+            "unknown bench scale %r (choose from %s)"
+            % (name, ", ".join(sorted(SCALES)))
+        )
+    return preset
+
+
+@contextmanager
+def _scoped_registry() -> Iterator[MetricsRegistry]:
+    """A fresh default registry (and a null tracer) for one workload."""
+    registry = MetricsRegistry()
+    previous_registry = obs.set_registry(registry)
+    previous_tracer = obs.set_tracer(NullTracer())
+    try:
+        yield registry
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+
+
+def _latency_summary(histogram: Optional[Histogram], context: str) -> LatencySummary:
+    """``histogram`` (seconds) exported as a microsecond summary."""
+    if histogram is None or histogram.count == 0:
+        raise BenchError("workload %s produced no latency samples" % context)
+    summary = histogram.summary(percentiles=(50.0, 99.0))
+    return LatencySummary(
+        p50_us=float(summary["p50"]) * 1e6,  # type: ignore[arg-type]
+        p99_us=float(summary["p99"]) * 1e6,  # type: ignore[arg-type]
+        mean_us=float(summary["mean"]) * 1e6,  # type: ignore[arg-type]
+        max_us=float(summary["max"]) * 1e6,  # type: ignore[arg-type]
+        count=histogram.count,
+    )
+
+
+def _throughput(operations: int, elapsed_s: float) -> float:
+    return operations / max(elapsed_s, 1e-9)
+
+
+# ----------------------------------------------------------------------
+# SCALE-1: enforcement decision latency (indexed vs linear)
+# ----------------------------------------------------------------------
+def run_scale_enforcement(scale: ScalePreset) -> BenchmarkEntry:
+    from repro.core.enforcement.engine import EnforcementEngine
+    from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+    from repro.core.policy import catalog
+    from repro.core.policy.base import (
+        DataRequest, DecisionPhase, Effect, RequesterKind,
+    )
+    from repro.core.policy.conditions import EvaluationContext
+    from repro.core.policy.preference import UserPreference
+    from repro.core.reasoner.index import LinearRuleStore, PolicyIndex
+    from repro.spatial.model import build_simple_building
+
+    categories = (
+        DataCategory.LOCATION,
+        DataCategory.PRESENCE,
+        DataCategory.OCCUPANCY,
+        DataCategory.ENERGY_USE,
+        DataCategory.MEETING_DETAILS,
+    )
+
+    def build_engine(store_cls, users: int, registry: MetricsRegistry):
+        store = store_cls()
+        rng = random.Random(0)
+        store.add_policy(catalog.policy_2_emergency_location("b"))
+        store.add_policy(catalog.policy_service_sharing("b"))
+        store.add_policy(catalog.policy_1_comfort(["b-1001", "b-1002"]))
+        rules = 3
+        for index in range(users):
+            user_id = "user-%05d" % index
+            for pref_no in range(3):
+                store.add_preference(
+                    UserPreference(
+                        preference_id="%s-p%d" % (user_id, pref_no),
+                        user_id=user_id,
+                        description="generated",
+                        effect=rng.choice([Effect.ALLOW, Effect.DENY]),
+                        categories=(rng.choice(categories),),
+                        phases=(DecisionPhase.SHARING,),
+                        granularity_cap=rng.choice(list(GranularityLevel)),
+                    )
+                )
+                rules += 1
+        spatial = build_simple_building("b", 2, 4)
+        engine = EnforcementEngine(
+            store=store,
+            context=EvaluationContext(spatial=spatial),
+            metrics=registry,
+        )
+        return engine, rules
+
+    def make_requests(users: int, count: int, seed: int):
+        rng = random.Random(seed)
+        return [
+            DataRequest(
+                requester_id="svc",
+                requester_kind=RequesterKind.BUILDING_SERVICE,
+                phase=DecisionPhase.SHARING,
+                category=rng.choice(categories),
+                subject_id="user-%05d" % rng.randrange(users),
+                space_id="b-1001",
+                timestamp=float(rng.randrange(86400)),
+                purpose=Purpose.PROVIDING_SERVICE,
+            )
+            for _ in range(count)
+        ]
+
+    indexed_registry = MetricsRegistry()
+    engine, rules = build_engine(PolicyIndex, scale.enforcement_users, indexed_registry)
+    requests = make_requests(scale.enforcement_users, scale.enforcement_requests, 2)
+    start = time.perf_counter()
+    for request in requests:
+        engine.decide(request)
+    elapsed = time.perf_counter() - start
+
+    linear_registry = MetricsRegistry()
+    linear_engine, _ = build_engine(
+        LinearRuleStore, scale.linear_users, linear_registry
+    )
+    linear_requests = make_requests(scale.linear_users, scale.linear_requests, 2)
+    linear_start = time.perf_counter()
+    for request in linear_requests:
+        linear_engine.decide(request)
+    linear_elapsed = time.perf_counter() - linear_start
+
+    indexed_us = elapsed / len(requests) * 1e6
+    linear_us = linear_elapsed / len(linear_requests) * 1e6
+    return BenchmarkEntry(
+        name="scale_enforcement",
+        decision_latency=_latency_summary(
+            indexed_registry.merged_histogram("enforcement_decide_seconds"),
+            "scale_enforcement",
+        ),
+        ingest_throughput_per_s=_throughput(len(requests), elapsed),
+        extra={
+            "users": float(scale.enforcement_users),
+            "rules": float(rules),
+            "indexed_us_per_op": indexed_us,
+            "linear_us_per_op": linear_us,
+            "linear_speedup": linear_us / max(indexed_us, 1e-9),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# SCALE-2: full-inventory enforced ingest, WAL on
+# ----------------------------------------------------------------------
+def run_scale_ingest(scale: ScalePreset) -> BenchmarkEntry:
+    import tempfile
+
+    from repro.core.policy import catalog
+    from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
+    from repro.simulation.inhabitants import generate_inhabitants
+    from repro.simulation.mobility import BuildingWorld
+    from repro.spatial.model import SpaceType
+    from repro.storage.durable import StorageEngine
+
+    noon = 12 * 3600.0
+    tick_spacing = 120.0
+    with _scoped_registry() as registry:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmpdir:
+            engine = StorageEngine(tmpdir, metrics=registry)
+            tippers = make_dbh_tippers(enforce_capture=True, storage=engine)
+            rooms = [
+                s.space_id for s in tippers.spatial.spaces_of_type(SpaceType.ROOM)
+            ]
+            tippers.define_policy(catalog.policy_1_comfort(rooms))
+            tippers.define_policy(catalog.policy_2_emergency_location(BUILDING_ID))
+            tippers.define_policy(catalog.policy_service_sharing(BUILDING_ID))
+            inhabitants = generate_inhabitants(
+                tippers.spatial, scale.ingest_population, seed=5
+            )
+            for person in inhabitants:
+                tippers.add_user(person.profile)
+            world = BuildingWorld(tippers.spatial, inhabitants, seed=5)
+
+            start = time.perf_counter()
+            for tick in range(scale.ingest_ticks):
+                now = noon + tick * tick_spacing
+                world.step(now)
+                tippers.tick(now, world)
+            elapsed = time.perf_counter() - start
+            stats = tippers.sensor_manager.stats
+            wal_bytes = int(registry.total("storage_wal_bytes_total"))
+            engine.close()
+
+    return BenchmarkEntry(
+        name="scale_ingest",
+        decision_latency=_latency_summary(
+            registry.merged_histogram("enforcement_decide_seconds"), "scale_ingest"
+        ),
+        ingest_throughput_per_s=_throughput(stats.sampled, elapsed),
+        wal_bytes=wal_bytes,
+        extra={
+            "sampled": float(stats.sampled),
+            "stored": float(stats.stored),
+            "dropped": float(stats.dropped_capture + stats.dropped_storage),
+            "sensors": float(tippers.sensor_manager.count()),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# SCALE-3: notification relevance sweep
+# ----------------------------------------------------------------------
+def run_scale_notifications(scale: ScalePreset) -> BenchmarkEntry:
+    from repro.core.language.vocabulary import DataCategory, GranularityLevel, Purpose
+    from repro.iota.notifications import NotificationManager
+    from repro.iota.personas import PERSONAS, generate_decisions
+    from repro.iota.preference_model import DataPractice, PreferenceModel
+
+    thresholds = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+    advertised = [
+        DataPractice(DataCategory.LOCATION, Purpose.EMERGENCY_RESPONSE, retention_days=180),
+        DataPractice(DataCategory.LOCATION, Purpose.PROVIDING_SERVICE),
+        DataPractice(DataCategory.PRESENCE, Purpose.SECURITY, retention_days=30),
+        DataPractice(DataCategory.PRESENCE, Purpose.PROVIDING_SERVICE, granularity=GranularityLevel.COARSE),
+        DataPractice(DataCategory.OCCUPANCY, Purpose.COMFORT, retention_days=7),
+        DataPractice(DataCategory.OCCUPANCY, Purpose.ENERGY_MANAGEMENT, granularity=GranularityLevel.AGGREGATE),
+        DataPractice(DataCategory.ENERGY_USE, Purpose.ENERGY_MANAGEMENT, retention_days=365),
+        DataPractice(DataCategory.TEMPERATURE, Purpose.COMFORT, granularity=GranularityLevel.AGGREGATE),
+        DataPractice(DataCategory.IDENTITY, Purpose.ACCESS_CONTROL, retention_days=365),
+        DataPractice(DataCategory.MEETING_DETAILS, Purpose.PROVIDING_SERVICE),
+        DataPractice(DataCategory.LOCATION, Purpose.RESEARCH, retention_days=365),
+        DataPractice(DataCategory.LOCATION, Purpose.PROVIDING_SERVICE, third_party=True),
+        DataPractice(DataCategory.IDENTITY, Purpose.MARKETING, third_party=True),
+        DataPractice(DataCategory.ACTIVITY, Purpose.SECURITY),
+    ]
+    models = {
+        name: PreferenceModel().fit(generate_decisions(persona, 200, seed=1, noise=0.0))
+        for name, persona in PERSONAS.items()
+    }
+
+    # The offer decision (notify or stay silent) is the decision on
+    # this path; time it directly into a latency histogram.
+    offer_latency = Histogram("notification_offer_seconds")
+    shown: Dict[str, int] = {}
+    offers = 0
+    start = time.perf_counter()
+    for _ in range(scale.notification_repeats):
+        for persona_name, model in sorted(models.items()):
+            for threshold in thresholds:
+                manager = NotificationManager(
+                    model, relevance_threshold=threshold, daily_budget=100
+                )
+                for index, practice in enumerate(advertised):
+                    offer_start = time.perf_counter()
+                    sent = manager.offer(
+                        float(index), practice, "practice-%d" % index
+                    )
+                    offer_latency.observe(time.perf_counter() - offer_start)
+                    offers += 1
+                    if sent and threshold == 0.4:
+                        shown[persona_name] = shown.get(persona_name, 0) + 1
+    elapsed = time.perf_counter() - start
+
+    extra = {
+        "advertised_practices": float(len(advertised)),
+        "offers": float(offers),
+    }
+    for persona_name, count in sorted(shown.items()):
+        extra["shown_at_0.4_%s" % persona_name] = count / float(
+            scale.notification_repeats
+        )
+    return BenchmarkEntry(
+        name="scale_notifications",
+        decision_latency=_latency_summary(offer_latency, "scale_notifications"),
+        ingest_throughput_per_s=_throughput(offers, elapsed),
+        extra=extra,
+    )
+
+
+# ----------------------------------------------------------------------
+# SCALE-4: week-in-the-life soak
+# ----------------------------------------------------------------------
+def run_scale_week(scale: ScalePreset) -> BenchmarkEntry:
+    from repro.simulation.longrun import run_week
+
+    with _scoped_registry() as registry:
+        start = time.perf_counter()
+        result = run_week(
+            days=scale.week_days,
+            population=scale.week_population,
+            ticks_per_day=scale.week_ticks_per_day,
+            seed=9,
+        )
+        elapsed = time.perf_counter() - start
+
+    return BenchmarkEntry(
+        name="scale_week",
+        decision_latency=_latency_summary(
+            registry.merged_histogram("enforcement_decide_seconds"), "scale_week"
+        ),
+        ingest_throughput_per_s=_throughput(result.observations_sampled, elapsed),
+        extra={
+            "days": float(scale.week_days),
+            "population": float(scale.week_population),
+            "sampled": float(result.observations_sampled),
+            "stored": float(result.observations_stored),
+            "purged": float(result.observations_purged),
+            "queries_total": float(result.queries_total),
+            "denial_rate": round(result.denial_rate, 6),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# SCALE-5: rush-hour overload (admission on)
+# ----------------------------------------------------------------------
+def run_scale_overload(scale: ScalePreset) -> BenchmarkEntry:
+    from repro.simulation.overload import run_overload_scenario
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    report = run_overload_scenario(
+        plan_name="rush-hour",
+        seed=11,
+        population=scale.overload_population,
+        ticks=scale.overload_ticks,
+        admission=True,
+        metrics=registry,
+    )
+    elapsed = time.perf_counter() - start
+    if not report.ok:
+        raise BenchError(
+            "overload workload violated its invariants: %s"
+            % "; ".join(report.violations)
+        )
+
+    checked = max(report.ledger_checked, 1)
+    admitted = max(report.ledger_admitted, 1)
+    return BenchmarkEntry(
+        name="scale_overload",
+        decision_latency=_latency_summary(
+            registry.merged_histogram("enforcement_decide_seconds"), "scale_overload"
+        ),
+        ingest_throughput_per_s=_throughput(report.ledger_checked, elapsed),
+        shed_rate=round(report.ledger_shed / checked, 6),
+        brownout_rate=round(report.ledger_brownouts / admitted, 6),
+        extra={
+            "critical_shed": float(report.critical.shed),
+            "deferrable_shed_rate": round(report.deferrable.shed_rate, 6),
+            "injected_arrivals": float(report.injected_arrivals),
+            "stored": float(report.stored),
+        },
+    )
+
+
+#: Workload registry, in SCALE order; ``runner.run_suite`` walks this.
+WORKLOADS: Tuple[Tuple[str, Callable[[ScalePreset], BenchmarkEntry]], ...] = (
+    ("scale_enforcement", run_scale_enforcement),
+    ("scale_ingest", run_scale_ingest),
+    ("scale_notifications", run_scale_notifications),
+    ("scale_week", run_scale_week),
+    ("scale_overload", run_scale_overload),
+)

@@ -82,3 +82,7 @@ class SimulatedCrash(ReproError):
 
 class AnalysisError(ReproError):
     """Static-analysis misuse (unknown rule ids, unreadable paths)."""
+
+
+class BenchError(ReproError):
+    """A benchmark record is malformed or a trajectory operation failed."""

@@ -16,6 +16,7 @@ from repro.obs.instrument import span, timed
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    SNAPSHOT_SCHEMA_VERSION,
     Counter,
     Gauge,
     Histogram,
@@ -41,6 +42,7 @@ __all__ = [
     "ManualClock",
     "MetricsRegistry",
     "NullTracer",
+    "SNAPSHOT_SCHEMA_VERSION",
     "Span",
     "Tracer",
     "get_registry",

@@ -29,6 +29,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 LabelPairs = Tuple[Tuple[str, str], ...]
 MetricKey = Tuple[str, LabelPairs]
 
+#: Version stamp carried by every :meth:`MetricsRegistry.snapshot`.
+#: Consumers (the bench trajectory, ``REPRO_METRICS_OUT`` diffing) key
+#: their parsers off it; :meth:`MetricsRegistry.restore` rejects
+#: versions it does not understand.
+SNAPSHOT_SCHEMA_VERSION = 1
+
 #: Upper bucket bounds for latency-shaped histograms, in seconds:
 #: geometric from 1 microsecond to 10 seconds (4 buckets per decade).
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
@@ -161,6 +167,27 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
 
+    def summary(
+        self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, object]:
+        """A flat JSON-able percentile summary of the distribution.
+
+        Unlike :meth:`snapshot` (which keeps raw bucket counts for exact
+        merging), this is the export shape perf records want: count,
+        mean, min/max, and one ``p<N>`` key per requested percentile.
+        Empty histograms summarize to ``count=0`` with ``None`` values.
+        """
+        result: Dict[str, object] = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        for p in percentiles:
+            key = "p%g" % p
+            result[key] = self.percentile(p) if self.count else None
+        return result
+
     def merge(self, other: "Histogram") -> "Histogram":
         """A new histogram equal to observing both sample streams."""
         if self.boundaries != other.boundaries:
@@ -246,6 +273,18 @@ class MetricsRegistry:
     def histograms(self, name: str) -> List[Histogram]:
         return [h for (n, _), h in sorted(self._histograms.items()) if n == name]
 
+    def merged_histogram(self, name: str) -> Optional[Histogram]:
+        """Every histogram named ``name`` merged across label sets.
+
+        Returns ``None`` when no histogram with that name exists.  The
+        merge is exact (bucket-count addition), so percentiles of the
+        result equal percentiles of the concatenated sample streams.
+        """
+        merged: Optional[Histogram] = None
+        for histogram in self.histograms(name):
+            merged = histogram if merged is None else merged.merge(histogram)
+        return merged
+
     def total(
         self, name: str, labels: Optional[Mapping[str, str]] = None
     ) -> float:
@@ -266,6 +305,7 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable, deterministic view of every metric."""
         return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
             "counters": [
                 {"name": name, "labels": _labels_dict(labels), "value": c.value}
                 for (name, labels), c in sorted(self._counters.items())
@@ -285,7 +325,17 @@ class MetricsRegistry:
 
     @classmethod
     def restore(cls, snapshot: Mapping[str, object]) -> "MetricsRegistry":
-        """Rebuild a registry from :meth:`snapshot` output."""
+        """Rebuild a registry from :meth:`snapshot` output.
+
+        Snapshots written before the ``schema`` stamp existed are
+        accepted as version 1; anything newer than this build raises.
+        """
+        schema = int(snapshot.get("schema", SNAPSHOT_SCHEMA_VERSION))  # type: ignore[arg-type]
+        if schema != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported metrics snapshot schema %d (this build "
+                "understands %d)" % (schema, SNAPSHOT_SCHEMA_VERSION)
+            )
         registry = cls()
         for entry in snapshot.get("counters", ()):  # type: ignore[union-attr]
             counter = registry.counter(entry["name"], entry.get("labels"))

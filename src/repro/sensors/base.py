@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -10,6 +11,25 @@ from repro.errors import SensorError
 from repro.sensors.ontology import SensorTypeSpec
 
 _observation_counter = itertools.count(1)
+
+
+@contextmanager
+def scoped_observation_ids(start: int = 1) -> Iterator[None]:
+    """Deterministic observation ids inside a sealed world.
+
+    Ids are normally process-unique, which makes serialized byte counts
+    (WAL totals) depend on how many observations earlier code created.
+    Harnesses that promise byte-identical reports (the capacity soak)
+    run their isolated world under this scope; the process-wide counter
+    is restored on exit.
+    """
+    global _observation_counter
+    saved = _observation_counter
+    _observation_counter = itertools.count(start)
+    try:
+        yield
+    finally:
+        _observation_counter = saved
 
 
 @dataclass(frozen=True)

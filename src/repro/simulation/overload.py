@@ -256,12 +256,15 @@ def run_overload_scenario(
     population: int = 8,
     ticks: int = 12,
     admission: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> OverloadReport:
     """Run the mixed-class workload under ``plan_name`` and report.
 
     ``admission=False`` runs the identical workload with no admission
     controller on the bus -- the ablation the overload benchmark uses to
-    show what the protection buys.
+    show what the protection buys.  ``metrics`` lets a caller (the bench
+    trajectory) keep the run's registry for latency export; by default
+    the run stays locally scoped and leaks nothing.
     """
     report = OverloadReport(
         plan=plan_name,
@@ -270,7 +273,7 @@ def run_overload_scenario(
         ticks=ticks,
         admission_enabled=admission,
     )
-    metrics = MetricsRegistry()
+    metrics = metrics if metrics is not None else MetricsRegistry()
     tracer = Tracer()
     spatial = build_simple_building(BUILDING_ID, floors=2, rooms_per_floor=6)
     supervisor = SensorHealthSupervisor(

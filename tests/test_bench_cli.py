@@ -1,0 +1,194 @@
+"""Unit tests for the bench trajectory: runner, compare gate, and CLI.
+
+The suite itself is exercised at the cheap ``smoke`` scale once (module
+fixture) and the resulting record is reused across tests; degraded
+candidates are built by perturbing its numbers, not by re-running.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import bench
+from repro.__main__ import main
+from repro.errors import BenchError
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return bench.run_suite(scale="smoke", label="unit-test")
+
+
+def degrade(record, latency_factor=1.0, throughput_factor=1.0):
+    """A copy of ``record`` with every benchmark made slower."""
+    benchmarks = {}
+    for name, entry in record.benchmarks.items():
+        latency = entry.decision_latency
+        benchmarks[name] = dataclasses.replace(
+            entry,
+            decision_latency=dataclasses.replace(
+                latency,
+                p50_us=latency.p50_us * latency_factor,
+                p99_us=latency.p99_us * latency_factor,
+                mean_us=latency.mean_us * latency_factor,
+                max_us=latency.max_us * latency_factor,
+            ),
+            ingest_throughput_per_s=(
+                entry.ingest_throughput_per_s / throughput_factor
+            ),
+        )
+    return dataclasses.replace(record, benchmarks=benchmarks)
+
+
+class TestRunSuite:
+    def test_record_is_valid_and_complete(self, smoke_record):
+        smoke_record.validate()
+        assert set(smoke_record.benchmarks) == set(bench.BENCHMARK_NAMES)
+        assert smoke_record.scale == "smoke"
+        assert smoke_record.peak_rss_kb > 0
+
+    def test_every_benchmark_measured_real_work(self, smoke_record):
+        for entry in smoke_record.benchmarks.values():
+            assert entry.decision_latency.count > 0
+            assert entry.ingest_throughput_per_s > 0.0
+        assert smoke_record.benchmarks["scale_ingest"].wal_bytes > 0
+        assert smoke_record.benchmarks["scale_overload"].shed_rate > 0.0
+
+    def test_enforcement_reports_index_speedup(self, smoke_record):
+        extra = smoke_record.benchmarks["scale_enforcement"].extra
+        assert extra["linear_speedup"] > 0.0
+
+    def test_unknown_scale_is_rejected(self):
+        with pytest.raises(BenchError, match="scale"):
+            bench.run_suite(scale="galactic")
+
+
+class TestTrajectory:
+    def test_append_numbers_sequentially(self, smoke_record, tmp_path):
+        first, first_path = bench.append_record(smoke_record, str(tmp_path))
+        second, second_path = bench.append_record(smoke_record, str(tmp_path))
+        assert first.record_id == 1
+        assert second.record_id == 2
+        assert first_path.endswith("BENCH_0001.json")
+        assert second_path.endswith("BENCH_0002.json")
+        assert bench.latest_record(str(tmp_path)).record_id == 2
+
+    def test_scratch_outputs_never_become_baselines(
+        self, smoke_record, tmp_path
+    ):
+        bench.write_record(smoke_record, str(tmp_path / "BENCH_PR.json"))
+        assert bench.latest_record(str(tmp_path)) is None
+        assert bench.list_records(str(tmp_path)) == []
+
+    def test_write_is_atomic(self, smoke_record, tmp_path):
+        path = tmp_path / "BENCH_0001.json"
+        bench.write_record(smoke_record, str(path))
+        assert not (tmp_path / "BENCH_0001.json.tmp").exists()
+        assert bench.load_record(str(path)).benchmarks
+
+
+class TestCompare:
+    def test_identical_records_pass(self, smoke_record):
+        report = bench.compare_records(smoke_record, smoke_record)
+        assert report.ok
+        assert not report.regressions
+
+    def test_latency_regression_is_caught(self, smoke_record):
+        report = bench.compare_records(
+            smoke_record, degrade(smoke_record, latency_factor=100.0)
+        )
+        assert not report.ok
+        assert any("decision_latency" in v.metric for v in report.regressions)
+
+    def test_throughput_regression_is_caught(self, smoke_record):
+        report = bench.compare_records(
+            smoke_record, degrade(smoke_record, throughput_factor=100.0)
+        )
+        assert not report.ok
+        assert any("throughput" in v.metric for v in report.regressions)
+
+    def test_missing_benchmark_is_a_regression(self, smoke_record):
+        benchmarks = dict(smoke_record.benchmarks)
+        del benchmarks["scale_week"]
+        candidate = dataclasses.replace(smoke_record, benchmarks=benchmarks)
+        report = bench.compare_records(smoke_record, candidate)
+        assert any(v.detail.startswith("benchmark missing")
+                   for v in report.regressions)
+
+    def test_report_renders_and_serializes(self, smoke_record):
+        report = bench.compare_records(smoke_record, smoke_record)
+        assert any("result: OK" in line for line in report.lines())
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert len(payload["verdicts"]) == len(report.verdicts)
+
+
+class TestBenchCLI:
+    def test_run_json_validates(self, capsys):
+        assert main(["bench", "run", "--scale", "smoke", "--json"]) == 0
+        out = capsys.readouterr().out
+        record = bench.BenchRecord.loads(out)
+        assert record.scale == "smoke"
+
+    def test_record_then_compare_pass_and_fail(
+        self, smoke_record, tmp_path, capsys
+    ):
+        trajectory = str(tmp_path)
+        bench.append_record(smoke_record, trajectory)
+        good = tmp_path / "candidate-good.json"
+        bench.write_record(smoke_record, str(good))
+        assert main(
+            ["bench", "compare", "--dir", trajectory,
+             "--candidate", str(good)]
+        ) == 0
+        bad = tmp_path / "candidate-bad.json"
+        bench.write_record(degrade(smoke_record, latency_factor=100.0),
+                           str(bad))
+        assert main(
+            ["bench", "compare", "--dir", trajectory,
+             "--candidate", str(bad)]
+        ) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_without_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main(["bench", "compare", "--dir", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_run_out_writes_record(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_PR.json"
+        assert main(
+            ["bench", "run", "--scale", "smoke", "--out", str(out_path)]
+        ) == 0
+        assert bench.load_record(str(out_path)).scale == "smoke"
+
+
+class TestSoakCLI:
+    def test_soak_reports_and_writes_deterministic_text(
+        self, tmp_path, capsys
+    ):
+        report_path = tmp_path / "soak.txt"
+        assert main(
+            ["soak", "--populations", "500,5000", "--ticks", "2",
+             "--report-out", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max sustainable population: 5000" in out
+        assert report_path.read_text() == out
+
+    def test_soak_json_round_trips(self, capsys):
+        assert main(
+            ["soak", "--populations", "500", "--ticks", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_sustainable_population"] == 500
+
+    def test_soak_with_no_sustainable_step_exits_nonzero(self, capsys):
+        assert main(
+            ["soak", "--populations", "200000", "--ticks", "2"]
+        ) == 1
+
+    def test_soak_rejects_bad_populations(self, capsys):
+        assert main(["soak", "--populations", "abc"]) == 2

@@ -1,0 +1,167 @@
+"""Unit tests for the BENCH_<n>.json record schema.
+
+A bench record is a committed artifact other builds must be able to
+trust, so the schema's job is mostly *rejection*: unknown versions,
+NaN/negative latencies, inverted percentiles, missing benchmarks, and
+malformed JSON all raise :class:`BenchError` before any number is
+believed.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BENCHMARK_NAMES,
+    BenchmarkEntry,
+    BenchRecord,
+    LatencySummary,
+)
+from repro.errors import BenchError
+
+
+def make_latency(p50=10.0, p99=50.0, mean=15.0, maximum=80.0, count=100):
+    return LatencySummary(
+        p50_us=p50, p99_us=p99, mean_us=mean, max_us=maximum, count=count
+    )
+
+
+def make_entry(name, **overrides):
+    fields = dict(
+        name=name,
+        decision_latency=make_latency(),
+        ingest_throughput_per_s=1000.0,
+        shed_rate=0.1,
+        brownout_rate=0.05,
+        wal_bytes=4096,
+        extra={"users": 100.0},
+    )
+    fields.update(overrides)
+    return BenchmarkEntry(**fields)
+
+
+def make_record(**overrides):
+    fields = dict(
+        version=BENCH_SCHEMA_VERSION,
+        record_id=1,
+        scale="ci",
+        label="unit-test",
+        peak_rss_kb=50000,
+        benchmarks={name: make_entry(name) for name in BENCHMARK_NAMES},
+    )
+    fields.update(overrides)
+    return BenchRecord(**fields)
+
+
+class TestRoundTrip:
+    def test_dump_load_round_trip_is_lossless(self):
+        record = make_record()
+        record.validate()
+        loaded = BenchRecord.loads(record.dumps())
+        assert loaded == record
+
+    def test_dumps_is_deterministic_and_newline_terminated(self):
+        record = make_record()
+        text = record.dumps()
+        assert text == record.dumps()
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == BENCH_SCHEMA_VERSION
+
+    def test_every_benchmark_name_is_required(self):
+        assert set(BENCHMARK_NAMES) == {
+            "scale_enforcement", "scale_ingest", "scale_notifications",
+            "scale_week", "scale_overload",
+        }
+
+
+class TestVersionGate:
+    @pytest.mark.parametrize("version", [0, 2, 99, "1", None])
+    def test_unknown_versions_are_rejected(self, version):
+        data = make_record().to_dict()
+        data["version"] = version
+        with pytest.raises(BenchError, match="version"):
+            BenchRecord.from_dict(data)
+
+    def test_version_is_checked_before_benchmarks(self):
+        # A future-version record with an unreadable body must fail on
+        # the version, not on the body it has no business interpreting.
+        data = {"version": BENCH_SCHEMA_VERSION + 1, "benchmarks": "not-a-map"}
+        with pytest.raises(BenchError, match="version"):
+            BenchRecord.from_dict(data)
+
+    def test_missing_version_is_rejected(self):
+        data = make_record().to_dict()
+        del data["version"]
+        with pytest.raises(BenchError, match="version"):
+            BenchRecord.from_dict(data)
+
+
+class TestLatencyValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0, "10"])
+    def test_non_finite_or_negative_latency_is_rejected(self, bad):
+        with pytest.raises(BenchError):
+            make_latency(p50=bad).validate("test")
+
+    def test_inverted_percentiles_are_rejected(self):
+        with pytest.raises(BenchError, match="p50.*exceeds p99"):
+            make_latency(p50=60.0, p99=50.0).validate("test")
+        with pytest.raises(BenchError, match="p99.*exceeds max"):
+            make_latency(p99=50.0, maximum=40.0).validate("test")
+
+    def test_empty_distribution_is_rejected(self):
+        with pytest.raises(BenchError, match="count"):
+            make_latency(count=0).validate("test")
+
+    def test_nan_rejected_through_json_path(self):
+        data = make_record().to_dict()
+        entry = data["benchmarks"]["scale_ingest"]
+        entry["decision_latency"]["p99_us"] = math.nan
+        with pytest.raises(BenchError, match="finite"):
+            BenchRecord.from_dict(data)
+
+
+class TestEntryValidation:
+    def test_zero_throughput_is_rejected(self):
+        with pytest.raises(BenchError, match="throughput"):
+            make_entry("scale_ingest", ingest_throughput_per_s=0.0).validate()
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, float("nan")])
+    def test_out_of_range_rates_are_rejected(self, rate):
+        with pytest.raises(BenchError):
+            make_entry("scale_ingest", shed_rate=rate).validate()
+
+    def test_negative_wal_bytes_are_rejected(self):
+        with pytest.raises(BenchError, match="wal_bytes"):
+            make_entry("scale_ingest", wal_bytes=-1).validate()
+
+    def test_entry_name_must_match_its_key(self):
+        data = make_record().to_dict()
+        data["benchmarks"]["scale_ingest"]["name"] = "scale_other"
+        with pytest.raises(BenchError, match="disagrees"):
+            BenchRecord.from_dict(data)
+
+
+class TestRecordValidation:
+    def test_missing_benchmark_is_rejected(self):
+        data = make_record().to_dict()
+        del data["benchmarks"]["scale_week"]
+        with pytest.raises(BenchError, match="missing benchmarks"):
+            BenchRecord.from_dict(data)
+
+    def test_unknown_benchmark_is_rejected(self):
+        benchmarks = {name: make_entry(name) for name in BENCHMARK_NAMES}
+        benchmarks["scale_mystery"] = make_entry("scale_mystery")
+        with pytest.raises(BenchError, match="unknown benchmarks"):
+            make_record(benchmarks=benchmarks).validate()
+
+    def test_negative_record_id_is_rejected(self):
+        with pytest.raises(BenchError, match="record_id"):
+            make_record(record_id=-1).validate()
+
+    def test_malformed_json_raises_bench_error(self):
+        with pytest.raises(BenchError, match="JSON"):
+            BenchRecord.loads("{not json")
+        with pytest.raises(BenchError):
+            BenchRecord.loads("[1, 2, 3]")

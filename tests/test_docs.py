@@ -183,3 +183,95 @@ class TestReadmeQuickstart:
         match = re.search(r"```python\n(.*?)```", readme, re.S)
         assert match, "README must contain the quickstart snippet"
         exec(compile(match.group(1), "<README quickstart>", "exec"), {})
+
+
+class TestBenchmarksDoc:
+    """docs/BENCHMARKS.md's example record and tables must stay true."""
+
+    @pytest.fixture(scope="class")
+    def bench_text(self):
+        return (DOCS.parent / "BENCHMARKS.md").read_text()
+
+    def test_example_record_validates(self, bench_text):
+        from repro.bench import BenchmarkEntry, BenchRecord
+
+        blocks = [
+            json.loads(b)
+            for b in re.findall(r"```json\n(.*?)```", bench_text, re.S)
+        ]
+        assert blocks, "the benchmarks doc must show an example record"
+        example = blocks[0]
+        # The doc trims the record to one benchmark for readability;
+        # validate the shown entry through the real schema, then the
+        # whole record with the entry replicated across the suite.
+        from repro.bench import BENCHMARK_NAMES
+
+        shown = example["benchmarks"]["scale_enforcement"]
+        BenchmarkEntry.from_dict(shown, "scale_enforcement")
+        example["benchmarks"] = {
+            name: dict(shown, name=name) for name in BENCHMARK_NAMES
+        }
+        record = BenchRecord.from_dict(example)
+        assert record.scale == "ci"
+
+    def test_documented_schema_version_matches(self, bench_text):
+        from repro.bench import BENCH_SCHEMA_VERSION
+
+        assert "## Record schema (version %d)" % BENCH_SCHEMA_VERSION in bench_text
+
+    def test_documented_tolerances_match_defaults(self, bench_text):
+        from repro.bench import Tolerances
+
+        defaults = Tolerances()
+        assert (
+            "factor %.1f, floor %.1f us"
+            % (defaults.latency_factor, defaults.latency_floor_us)
+        ) in bench_text
+        assert "factor %.1f" % defaults.throughput_factor in bench_text
+        assert "slack %.2f" % defaults.rate_slack in bench_text
+        assert "factor %.1f, slack %d B" % (
+            defaults.wal_factor, defaults.wal_slack_bytes
+        ) in bench_text
+        assert "factor %.1f" % defaults.rss_factor in bench_text
+
+    def test_documented_scales_exist(self, bench_text):
+        from repro.bench import SCALES
+
+        for name in SCALES:
+            assert "`%s`" % name in bench_text
+
+    def test_documented_soak_constants_match(self, bench_text):
+        from repro.simulation.longrun import (
+            SOAK_US_PER_QUEUED_CALL,
+            SOAK_US_PER_RULE,
+            SOAK_PRINCIPAL_STATE_BYTES,
+        )
+
+        assert "rules_p99 * %.1fus" % SOAK_US_PER_RULE in bench_text
+        assert (
+            "queue_depth_p99 * %.1fus" % SOAK_US_PER_QUEUED_CALL in bench_text
+        )
+        assert "%d bytes per principal" % SOAK_PRINCIPAL_STATE_BYTES in bench_text
+
+    def test_committed_trajectory_validates(self):
+        from repro.bench import latest_record, list_records
+
+        root = str(DOCS.parent.parent)
+        records = list_records(root)
+        assert records, "the repo must commit at least BENCH_0001.json"
+        assert records[0][0] == 1
+        baseline = latest_record(root)
+        baseline.validate()
+        for entry in baseline.benchmarks.values():
+            assert entry.decision_latency.count > 0
+
+    def test_makefile_wires_bench_and_soak(self):
+        makefile = (DOCS.parent.parent / "Makefile").read_text()
+        assert "bench:" in makefile
+        assert "soak:" in makefile
+        assert "repro bench" in makefile
+
+    def test_readme_mentions_the_trajectory(self):
+        readme = (DOCS.parent.parent / "README.md").read_text()
+        assert "BENCH_" in readme
+        assert "perf trajectory" in readme.lower()
