@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke bench soak lint obs chaos recover overload
+.PHONY: test test-fast bench-smoke bench soak lint lint-flow obs chaos recover overload
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -39,10 +39,16 @@ soak:
 	PYTHONPATH=src $(PYTHON) -m repro soak --report-out /tmp/repro-soak-b.txt
 	diff /tmp/repro-soak-a.txt /tmp/repro-soak-b.txt
 
-# Static analysis: audit the DBH policy set, then code-lint the tree.
-lint:
+# Static analysis: audit the DBH policy set, code-lint the tree, then
+# prove the privacy-flow invariant over the call graph.
+lint: lint-flow
 	PYTHONPATH=src $(PYTHON) -m repro lint
 	PYTHONPATH=src $(PYTHON) -m repro lint src tests benchmarks
+
+# Interprocedural privacy-flow analysis (rules F001-F006) against the
+# committed flow_baseline.json.
+lint-flow:
+	PYTHONPATH=src $(PYTHON) -m repro lint --flow src
 
 # Run the Figure-1 scenario and print the observability snapshot.
 obs:

@@ -5,12 +5,18 @@ Commands
 figure1 [--population N] [--persona NAME]
     Run the paper's Figure-1 interaction end to end and print the
     per-step report.
-lint [paths...] [--format text|json] [--select RULES]
+lint [paths...] [--format text|json|sarif] [--select RULES] [--flow]
     With no paths: statically audit the default DBH policy set, its
     advertisement registry, and the deployed sensors (policy rules
     P001-P010 plus the reasoner's legacy checks).  With paths: run the
-    AST code lint (rules C001-C006) over every ``*.py`` file under
-    them.  Exits 0 when clean, 1 on findings, 2 on usage errors.
+    AST code lint (rules C001-C007) over every ``*.py`` file under
+    them.  With ``--flow``: run the interprocedural privacy-flow
+    analysis (rules F001-F006) over the paths (default ``src``),
+    subtracting the committed ``flow_baseline.json`` unless
+    ``--no-baseline`` (or ``--baseline PATH`` picks another file);
+    ``--write-baseline PATH`` pins the current findings instead of
+    reporting them.  Exits 0 when clean, 1 on findings, 2 on usage
+    errors.
 inventory
     Print the synthetic Donald Bren Hall inventory.
 obs [--population N] [--ticks N] [--json PATH] [--traces N]
@@ -85,9 +91,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_dbh_scenario,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
     )
     from repro.errors import AnalysisError
+
+    if args.flow:
+        return _cmd_lint_flow(args)
+    if args.baseline or args.no_baseline or args.write_baseline:
+        print("error: baseline options require --flow", file=sys.stderr)
+        return 2
 
     try:
         selection = expand_selection(args.select)
@@ -101,6 +114,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json.dumps(render_json(findings), indent=2, sort_keys=True))
+        return exit_code(findings)
+    if args.format == "sarif":
+        print(json.dumps(render_sarif(findings), indent=2, sort_keys=True))
         return exit_code(findings)
 
     if not args.paths and not findings:
@@ -119,6 +135,79 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(line)
     if not findings:
         print("no findings")
+    return exit_code(findings)
+
+
+def _cmd_lint_flow(args: argparse.Namespace) -> int:
+    """``lint --flow``: the interprocedural privacy-flow analysis."""
+    import json
+    import os
+
+    from repro.analysis import (
+        analyze_flow_paths,
+        apply_baseline,
+        baseline_from_findings,
+        exit_code,
+        expand_selection,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
+    from repro.errors import AnalysisError
+
+    paths = args.paths or ["src"]
+    try:
+        selection = expand_selection(args.select)
+        findings = analyze_flow_paths(paths, select=selection)
+    except AnalysisError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        baseline = baseline_from_findings(findings)
+        try:
+            write_baseline(baseline, args.write_baseline)
+        except AnalysisError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        print("baseline with %d entry(ies) written to %s"
+              % (len(baseline.entries), args.write_baseline))
+        return 0
+
+    stale = []
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if os.path.isfile("flow_baseline.json"):
+            baseline_path = "flow_baseline.json"
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except AnalysisError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        findings, stale = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        payload = render_json(findings)
+        payload["stale_baseline_entries"] = [
+            entry.to_dict() for entry in stale
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code(findings)
+    if args.format == "sarif":
+        print(json.dumps(render_sarif(findings), indent=2, sort_keys=True))
+        return exit_code(findings)
+    for line in render_text(findings):
+        print(line)
+    if not findings:
+        print("no findings")
+    for entry in stale:
+        # Stale entries go to stderr and never change the exit code:
+        # they mean the tree got *cleaner* than the baseline records.
+        print("stale baseline entry: %s %s %s" % entry.key(),
+              file=sys.stderr)
     return exit_code(findings)
 
 
@@ -520,12 +609,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="files/directories to code-lint; omit to audit the DBH policy set",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     lint.add_argument(
         "--select", default=None, metavar="RULES",
         help="comma-separated rule ids or prefixes (e.g. C003 or P)",
+    )
+    lint.add_argument(
+        "--flow", action="store_true",
+        help="run the interprocedural privacy-flow analysis "
+             "(rules F001-F006) over the paths (default: src)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="with --flow: baseline file to subtract "
+             "(default: ./flow_baseline.json when present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="with --flow: ignore any baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="with --flow: pin the current findings as a baseline and exit",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -42,8 +42,9 @@ from repro.analysis.findings import (
 
 register_rule(
     "C001", "wall-clock", Severity.ERROR,
-    "Reads the wall clock (time.time, datetime.now, ...); inject a "
-    "clock or simulation timestamp instead so runs are reproducible.",
+    "Reads an ambient clock (time.time, time.monotonic, datetime.now, "
+    "...), directly or via an import-time alias; inject a clock or "
+    "simulation timestamp instead so runs are reproducible.",
 )
 register_rule(
     "C002", "unseeded-random", Severity.ERROR,
@@ -82,13 +83,18 @@ register_rule(
 #: them, so they own the time budget.
 _DEADLINE_LAYERS = frozenset({"services", "iota"})
 
-#: Wall-clock call paths banned by C001 (resolved through import
-#: aliases, so ``from datetime import datetime as dt; dt.now()`` is
-#: still caught).  ``time.perf_counter`` is deliberately allowed: it
-#: measures durations, not wall-clock time.
+#: Wall-clock call paths banned by C001 (resolved through import *and*
+#: module-level assignment aliases, so ``from datetime import datetime
+#: as dt; dt.now()`` and ``_now = time.time; _now()`` are both
+#: caught).  ``time.monotonic`` is banned alongside ``time.time``: it
+#: is still an ambient clock the simulation cannot control.
+#: ``time.perf_counter`` is deliberately allowed: it measures
+#: durations inside one process run, not simulated time.
 _WALL_CLOCK_CALLS = frozenset({
     "time.time",
     "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
@@ -144,12 +150,18 @@ def _dotted(node: ast.AST) -> Optional[str]:
 
 
 class _ImportTable:
-    """Maps local names to the absolute dotted path they stand for."""
+    """Maps local names to the absolute dotted path they stand for.
+
+    Besides imports, module-level assignments that merely rebind a
+    dotted path (``_now = time.time``, ``R = random.Random``) are
+    followed, chaining through earlier aliases in source order -- an
+    import-time alias must not launder a banned call past C001/C002.
+    """
 
     def __init__(self) -> None:
         self.aliases: Dict[str, str] = {}
 
-    def collect(self, tree: ast.AST) -> None:
+    def collect(self, tree: ast.Module) -> None:
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -160,6 +172,17 @@ class _ImportTable:
                 for alias in node.names:
                     local = alias.asname or alias.name
                     self.aliases[local] = "%s.%s" % (node.module, alias.name)
+        # Assignment aliases: module body only, in source order, so
+        # chains (``t = time; now = t.time``) resolve left to right.
+        for node in tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            resolved = self.resolve(_dotted(node.value))
+            if resolved is not None:
+                self.aliases[target.id] = resolved
 
     def resolve(self, dotted: Optional[str]) -> Optional[str]:
         """The absolute path a local dotted reference stands for."""

@@ -42,9 +42,9 @@ class Rule:
     summary: str
 
     def __post_init__(self) -> None:
-        if not re.match(r"^[CP]\d{3}$", self.rule_id):
+        if not re.match(r"^[CFP]\d{3}$", self.rule_id):
             raise AnalysisError(
-                "rule id %r must look like C001 or P001" % self.rule_id
+                "rule id %r must look like C001, F001, or P001" % self.rule_id
             )
 
 
@@ -64,10 +64,11 @@ def register_rule(rule_id: str, name: str, severity: Severity, summary: str) -> 
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, ordered by id (imports both analyzers)."""
+    """Every registered rule, ordered by id (imports every analyzer)."""
     # Importing for the registration side effect keeps the registry
     # complete even when the caller only imported this module.
     from repro.analysis import code_lint, policy_lint  # noqa: F401
+    from repro.analysis.flow import analyzer  # noqa: F401
 
     return [RULES[rule_id] for rule_id in sorted(RULES)]
 

@@ -1,0 +1,51 @@
+"""Interprocedural privacy-flow analysis (rules ``F001``--``F006``).
+
+The paper's central guarantee -- captured sensor data reaches consumers
+only *after* policy/preference enforcement -- is enforced dynamically by
+tests and scenarios.  This package proves it statically: it builds a
+module-level call graph over the tree, marks taint **sources** (sensor
+capture entry points, datastore/WAL reads of observation payloads),
+**sinks** (query responses, storage appends, IoTA notifications, bus
+publishes leaving the TIPPERS boundary), and **sanitizers**
+(``engine.decide``, brownout coarsening, audited fail-closed denials),
+and reports every source-to-sink path that does not cross enforcement.
+
+Entry points:
+
+- :func:`analyze_flow_paths` -- run the analyzer over files/directories.
+- :class:`FlowAnalyzer` -- the analysis itself, for embedding.
+- :mod:`repro.analysis.flow.baseline` -- the committed
+  ``flow_baseline.json`` that pins accepted pre-existing flows.
+- :func:`render_sarif` -- SARIF 2.1.0 rendering for CI artifacts.
+"""
+
+from repro.analysis.flow.analyzer import FlowAnalyzer, analyze_flow_paths
+from repro.analysis.flow.baseline import (
+    FLOW_BASELINE_VERSION,
+    BaselineEntry,
+    FlowBaseline,
+    apply_baseline,
+    baseline_from_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.model import DEFAULT_MODEL, FlowModel
+from repro.analysis.flow.sarif import render_sarif
+
+__all__ = [
+    "BaselineEntry",
+    "CallGraph",
+    "DEFAULT_MODEL",
+    "FLOW_BASELINE_VERSION",
+    "FlowAnalyzer",
+    "FlowBaseline",
+    "FlowModel",
+    "analyze_flow_paths",
+    "apply_baseline",
+    "baseline_from_findings",
+    "build_call_graph",
+    "load_baseline",
+    "render_sarif",
+    "write_baseline",
+]

@@ -1,0 +1,239 @@
+"""The committed ``flow_baseline.json``: accepted pre-existing flows.
+
+The flow analyzer gates CI, but a gate is only adoptable if the
+current tree passes it -- so findings that predate the analyzer (or
+are deliberate, reviewed behaviour) are pinned here with a written
+justification.  A baselined finding is subtracted from the report; a
+*new* finding still fails the build; a baseline entry matching nothing
+is reported as stale so the file cannot rot.
+
+Same discipline as ``src/repro/bench/schema.py``:
+
+- **Versioned and validated.**  ``FLOW_BASELINE_VERSION`` is checked
+  before anything else; every entry's fields are validated on load and
+  on dump, and an empty justification is rejected -- the whole point
+  of the file is the recorded reasoning.
+- **Deterministic serialization.**  Sorted entries, sorted-key
+  indented JSON, trailing newline; written atomically via a temp file
+  and ``os.replace`` so a crash cannot leave a torn baseline.
+
+Matching is by ``(rule_id, file, function)`` -- line numbers are
+deliberately excluded so unrelated edits above a pinned finding do not
+invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+#: Bump when the baseline shape changes; ``load_baseline`` rejects others.
+FLOW_BASELINE_VERSION = 1
+
+_RULE_ID_RE = re.compile(r"^F\d{3}$")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise AnalysisError(message)
+
+
+def _string(value: Any, name: str, allow_empty: bool = False) -> str:
+    _require(isinstance(value, str), "%s must be a string, got %r" % (name, value))
+    if not allow_empty:
+        _require(bool(value.strip()), "%s must not be empty" % name)
+    return value
+
+
+def _normalize_path(path: str) -> str:
+    """Slash-normalized, ``./``-stripped path for stable matching."""
+    normalized = path.replace("\\", "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding, pinned with its justification."""
+
+    rule_id: str
+    file: str
+    function: str
+    justification: str
+
+    def validate(self, context: str) -> None:
+        _require(
+            bool(_RULE_ID_RE.match(self.rule_id)),
+            "%s.rule_id %r must look like F001" % (context, self.rule_id),
+        )
+        _string(self.file, "%s.file" % context)
+        _string(self.function, "%s.function" % context)
+        _string(self.justification, "%s.justification" % context)
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule_id, _normalize_path(self.file), self.function)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "file": _normalize_path(self.file),
+            "function": self.function,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], context: str) -> "BaselineEntry":
+        _require(isinstance(data, Mapping), "%s must be an object" % context)
+        for key in ("rule_id", "file", "function", "justification"):
+            _require(key in data, "%s is missing %r" % (context, key))
+        entry = cls(
+            rule_id=_string(data["rule_id"], "%s.rule_id" % context),
+            file=_string(data["file"], "%s.file" % context),
+            function=_string(data["function"], "%s.function" % context),
+            justification=_string(
+                data["justification"], "%s.justification" % context
+            ),
+        )
+        entry.validate(context)
+        return entry
+
+
+@dataclass(frozen=True)
+class FlowBaseline:
+    """The full baseline: a version plus its pinned entries."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        ordered = sorted(self.entries, key=lambda e: e.key())
+        return {
+            "schema_version": FLOW_BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+
+    def dumps(self) -> str:
+        for index, entry in enumerate(self.entries):
+            entry.validate("entries[%d]" % index)
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowBaseline":
+        _require(isinstance(data, Mapping), "baseline must be a JSON object")
+        # The version gate comes first: a newer schema must be rejected
+        # before any other field is interpreted.
+        _require("schema_version" in data, "baseline is missing 'schema_version'")
+        version = data["schema_version"]
+        _require(
+            isinstance(version, int) and not isinstance(version, bool),
+            "schema_version must be an integer, got %r" % (version,),
+        )
+        _require(
+            version == FLOW_BASELINE_VERSION,
+            "unsupported baseline schema_version %d (this build reads %d)"
+            % (version, FLOW_BASELINE_VERSION),
+        )
+        raw_entries = data.get("entries")
+        _require(isinstance(raw_entries, list), "'entries' must be a list")
+        entries = tuple(
+            BaselineEntry.from_dict(item, "entries[%d]" % index)
+            for index, item in enumerate(raw_entries)
+        )
+        seen: Dict[Tuple[str, str, str], int] = {}
+        for index, entry in enumerate(entries):
+            _require(
+                entry.key() not in seen,
+                "entries[%d] duplicates entries[%d] (%s)"
+                % (index, seen.get(entry.key(), -1), "/".join(entry.key())),
+            )
+            seen[entry.key()] = index
+        return cls(entries=entries)
+
+
+def load_baseline(path: str) -> FlowBaseline:
+    """Read and validate a baseline file (version gate first)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise AnalysisError("cannot read baseline %s: %s" % (path, exc))
+    try:
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise AnalysisError("baseline %s is not valid JSON: %s" % (path, exc))
+    return FlowBaseline.from_dict(data)
+
+
+def write_baseline(baseline: FlowBaseline, path: str) -> None:
+    """Atomic write: temp file in the same directory, then replace."""
+    payload = baseline.dumps()
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = os.path.join(
+        directory, ".%s.tmp" % os.path.basename(path)
+    )
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise AnalysisError("cannot write baseline %s: %s" % (path, exc))
+
+
+def baseline_from_findings(
+    findings: Sequence[Finding],
+    justification: str = "accepted pre-existing flow; review before removing",
+) -> FlowBaseline:
+    """A baseline pinning every given finding (deduplicated).
+
+    Findings without a file/function anchor -- stale-allowlist reports
+    -- cannot be matched by key and are skipped: fix those by editing
+    the model, not by baselining.
+    """
+    seen: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        if not finding.file or not finding.subject:
+            continue
+        entry = BaselineEntry(
+            rule_id=finding.rule_id,
+            file=_normalize_path(finding.file),
+            function=finding.subject,
+            justification=justification,
+        )
+        seen.setdefault(entry.key(), entry)
+    return FlowBaseline(entries=tuple(
+        seen[key] for key in sorted(seen)
+    ))
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: FlowBaseline
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """``(kept findings, stale entries)`` after subtracting the baseline.
+
+    A baseline entry absorbs *every* finding with its key (one pinned
+    function may trip the same rule on several lines).  Entries that
+    absorb nothing are returned as stale so the caller can surface
+    them; staleness never changes the exit code.
+    """
+    keys = {entry.key() for entry in baseline.entries}
+    used: set = set()
+    kept: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, _normalize_path(finding.file), finding.subject)
+        if key in keys:
+            used.add(key)
+        else:
+            kept.append(finding)
+    stale = [
+        entry for entry in sorted(baseline.entries, key=lambda e: e.key())
+        if entry.key() not in used
+    ]
+    return kept, stale

@@ -1,0 +1,864 @@
+"""Module-level call graph over the tree, built from stdlib ``ast``.
+
+The graph is deliberately *approximate* -- python cannot be resolved
+exactly without running it -- but it is approximate in a controlled,
+deterministic way:
+
+- Functions and methods become nodes named by fully-qualified
+  qualnames (``repro.tippers.bms.TIPPERS.locate_user``).  A class name
+  itself is a pseudo-node standing for its constructor.  Nested
+  functions, lambdas, and comprehensions are flattened into the
+  enclosing module-level function or method.
+- Call sites resolve receivers through, in order: ``self`` and the
+  enclosing class's base chain; local variables assigned a constructor
+  or a class alias; parameter type annotations (including ``Optional``
+  and string annotations); instance-attribute types inferred from
+  ``self.x = ...`` assignments; and finally a receiver-name hint match
+  (``self._engine`` ~ ``EnforcementEngine``).  Generic container
+  method names (:data:`~repro.analysis.flow.model.GENERIC_METHOD_NAMES`)
+  never resolve -- they are stdlib noise.
+- Bus ``call``/``publish`` sites with a constant topic become a direct
+  edge to the registered endpoint's ``handle`` method, resolved via a
+  topic map scanned from ``bus.register(...)`` sites (with configured
+  fallback hints).  Non-constant targets are recorded as *dynamic*
+  sites, which rule F006 reports on tainted paths.
+- Every collection iterates files, functions, and candidates in sorted
+  order, so the same tree always produces the same graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.code_lint import _dotted, _ImportTable
+from repro.analysis.findings import suppressions_in
+from repro.analysis.flow.model import GENERIC_METHOD_NAMES, FlowModel
+from repro.errors import AnalysisError
+
+#: Receiver attributes treated as message-bus traffic when the receiver
+#: name ends with ``bus``.
+_BUS_CALL_ATTRS = frozenset({"call", "publish"})
+_BUS_REGISTER_ATTRS = frozenset({"register", "register_handler"})
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One node: a function, method, or class constructor pseudo-node."""
+
+    qualname: str
+    module: str
+    name: str
+    file: str
+    lineno: int
+    class_name: Optional[str] = None
+    is_class: bool = False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved (or dynamic) call inside a function node."""
+
+    caller: str
+    file: str
+    line: int
+    attr: str
+    candidates: Tuple[str, ...]
+    #: "used", "discarded" (bare expression statement), or
+    #: "assigned-unread" (bound to a name never loaded afterward).
+    usage: str = "used"
+    dynamic: bool = False
+    reason: str = ""
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    qualname: str
+    module: str
+    file: str
+    lineno: int
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)
+    attr_types: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class _ModuleScan:
+    name: str
+    file: str
+    tree: ast.Module
+    imports: _ImportTable
+    #: local symbol -> qualname for classes/functions defined here.
+    symbols: Dict[str, str] = field(default_factory=dict)
+    #: module-level string constants (topic names).
+    constants: Dict[str, str] = field(default_factory=dict)
+
+
+class CallGraph:
+    """The assembled graph plus the symbol tables used to build it."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionNode] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.sites: Dict[str, List[CallSite]] = {}
+        self.callers: Dict[str, List[str]] = {}
+        #: topic -> endpoint qualname (``Class.handle`` or a function).
+        self.topics: Dict[str, str] = {}
+        #: file -> {line -> suppressed rule ids} (# repro: noqa).
+        self.suppressions: Dict[str, Dict[int, Set[str]]] = {}
+        #: function params named brownout_level that are never read.
+        self.unread_params: Dict[str, List[Tuple[str, int]]] = {}
+
+    def sites_of(self, qualname: str) -> List[CallSite]:
+        return self.sites.get(qualname, [])
+
+    def callers_of(self, qualname: str) -> List[str]:
+        return self.callers.get(qualname, [])
+
+    def _finish(self) -> None:
+        """Derive reverse edges; sort everything for determinism."""
+        reverse: Dict[str, Set[str]] = {}
+        for caller in sorted(self.sites):
+            self.sites[caller].sort(key=lambda s: (s.line, s.attr))
+            for site in self.sites[caller]:
+                for candidate in site.candidates:
+                    reverse.setdefault(candidate, set()).add(caller)
+        self.callers = {
+            callee: sorted(names) for callee, names in sorted(reverse.items())
+        }
+
+
+def _module_name_for(path: str) -> str:
+    """Dotted module name from a file path (``repro.…`` when under it)."""
+    normalized = path.replace("\\", "/")
+    parts = [part for part in normalized.split("/") if part]
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    try:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return stem
+    inner = parts[index + 1:-1]
+    pieces = ["repro"] + inner
+    if stem != "__init__":
+        pieces.append(stem)
+    return ".".join(pieces)
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Every ``*.py`` under ``paths``, in sorted walk order."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        else:
+            raise AnalysisError("no such file or directory: %r" % path)
+    return files
+
+
+class _GraphBuilder:
+    def __init__(self, model: FlowModel) -> None:
+        self._model = model
+        self._graph = CallGraph()
+        self._scans: List[_ModuleScan] = []
+        #: simple class name -> sorted class qualnames.
+        self._classes_by_name: Dict[str, List[str]] = {}
+        #: method name -> sorted owning class qualnames.
+        self._method_owners: Dict[str, List[str]] = {}
+        self._return_cache: Dict[str, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Pass 1: declarations
+    # ------------------------------------------------------------------
+    def add_module(self, path: str, source: str) -> None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                "cannot parse %s:%s: %s" % (path, exc.lineno, exc.msg)
+            )
+        imports = _ImportTable()
+        imports.collect(tree)
+        scan = _ModuleScan(
+            name=_module_name_for(path), file=path, tree=tree, imports=imports
+        )
+        self._graph.suppressions[path] = suppressions_in(source)
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    scan.constants[target.id] = node.value.value
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._declare_function(scan, node, class_info=None)
+            elif isinstance(node, ast.ClassDef):
+                self._declare_class(scan, node)
+        self._scans.append(scan)
+
+    def _declare_function(
+        self,
+        scan: _ModuleScan,
+        node: ast.AST,
+        class_info: Optional[ClassInfo],
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if class_info is None:
+            qualname = "%s.%s" % (scan.name, node.name)
+            scan.symbols[node.name] = qualname
+        else:
+            qualname = "%s.%s" % (class_info.qualname, node.name)
+            class_info.methods[node.name] = qualname
+        self._graph.functions[qualname] = FunctionNode(
+            qualname=qualname,
+            module=scan.name,
+            name=node.name,
+            file=scan.file,
+            lineno=node.lineno,
+            class_name=class_info.name if class_info else None,
+        )
+
+    def _declare_class(self, scan: _ModuleScan, node: ast.ClassDef) -> None:
+        qualname = "%s.%s" % (scan.name, node.name)
+        scan.symbols[node.name] = qualname
+        info = ClassInfo(
+            name=node.name,
+            qualname=qualname,
+            module=scan.name,
+            file=scan.file,
+            lineno=node.lineno,
+        )
+        self._graph.classes[qualname] = info
+        self._graph.functions[qualname] = FunctionNode(
+            qualname=qualname,
+            module=scan.name,
+            name=node.name,
+            file=scan.file,
+            lineno=node.lineno,
+            class_name=node.name,
+            is_class=True,
+        )
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._declare_function(scan, child, class_info=info)
+        self._classes_by_name.setdefault(node.name, []).append(qualname)
+
+    # ------------------------------------------------------------------
+    # Pass 2: symbol tables that need every declaration
+    # ------------------------------------------------------------------
+    def _link_declarations(self) -> None:
+        for name in self._classes_by_name:
+            self._classes_by_name[name].sort()
+        owners: Dict[str, Set[str]] = {}
+        for info in self._graph.classes.values():
+            for method in info.methods:
+                owners.setdefault(method, set()).add(info.qualname)
+        self._method_owners = {
+            method: sorted(classes) for method, classes in owners.items()
+        }
+        for scan in self._scans:
+            for node in scan.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    info = self._graph.classes[
+                        "%s.%s" % (scan.name, node.name)
+                    ]
+                    info.bases = [
+                        base
+                        for base in (
+                            self._resolve_symbol(scan, _dotted(expr))
+                            for expr in node.bases
+                        )
+                        if base is not None and base in self._graph.classes
+                    ]
+        for scan in self._scans:
+            for node in scan.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    info = self._graph.classes[
+                        "%s.%s" % (scan.name, node.name)
+                    ]
+                    info.attr_types = self._infer_attr_types(scan, node)
+
+    def _resolve_symbol(
+        self, scan: _ModuleScan, dotted: Optional[str]
+    ) -> Optional[str]:
+        """A local dotted reference -> declared qualname, if known."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        local = scan.symbols.get(head)
+        if local is not None:
+            candidate = "%s.%s" % (local, rest) if rest else local
+            if candidate in self._graph.functions:
+                return candidate
+            if not rest:
+                return local
+            if local in self._graph.classes and "." not in rest:
+                return self._find_method(local, rest)
+            return None
+        absolute = scan.imports.resolve(dotted)
+        if absolute is None:
+            absolute = dotted if dotted.startswith("repro.") else None
+        if absolute is None:
+            return None
+        if absolute in self._graph.functions:
+            return absolute
+        # ``module.Class.method`` via an imported class.
+        head_path, _, attr = absolute.rpartition(".")
+        if head_path in self._graph.classes:
+            found = self._find_method(head_path, attr)
+            if found is not None:
+                return found
+        return None
+
+    def _find_method(self, class_qualname: str, method: str) -> Optional[str]:
+        """Method lookup along the base chain (cycle-safe)."""
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self._graph.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(info.bases)
+        return None
+
+    def _annotation_classes(
+        self, scan: _ModuleScan, annotation: Optional[ast.AST]
+    ) -> Tuple[str, ...]:
+        """Class qualnames named by a parameter/attribute annotation."""
+        if annotation is None:
+            return ()
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            resolved = self._resolve_symbol(scan, annotation.value.strip("'\""))
+            return (resolved,) if resolved in self._graph.classes else ()
+        if isinstance(annotation, ast.Subscript):
+            head = _dotted(annotation.value)
+            if head is not None and head.split(".")[-1] == "Optional":
+                return self._annotation_classes(scan, annotation.slice)
+            return ()
+        resolved = self._resolve_symbol(scan, _dotted(annotation))
+        return (resolved,) if resolved in self._graph.classes else ()
+
+    def _value_classes(
+        self,
+        scan: _ModuleScan,
+        value: ast.AST,
+        params: Dict[str, Tuple[str, ...]],
+        local_aliases: Dict[str, Tuple[str, ...]],
+    ) -> Tuple[str, ...]:
+        """Class qualnames a value expression may evaluate to."""
+        if isinstance(value, ast.IfExp):
+            return tuple(sorted(
+                set(self._value_classes(scan, value.body, params, local_aliases))
+                | set(self._value_classes(scan, value.orelse, params, local_aliases))
+            ))
+        if isinstance(value, ast.Call):
+            target = _dotted(value.func)
+            if isinstance(value.func, ast.Name) and value.func.id in local_aliases:
+                return local_aliases[value.func.id]
+            resolved = self._resolve_symbol(scan, target)
+            if resolved in self._graph.classes:
+                return (resolved,)
+            if resolved in self._graph.functions:
+                return self._function_return_classes(resolved)
+            return ()
+        if isinstance(value, ast.Name):
+            if value.id in params:
+                return params[value.id]
+            if value.id in local_aliases:
+                return local_aliases[value.id]
+            resolved = self._resolve_symbol(scan, value.id)
+            if resolved in self._graph.classes:
+                return (resolved,)
+            return ()
+        resolved = self._resolve_symbol(scan, _dotted(value))
+        if resolved in self._graph.classes:
+            return (resolved,)
+        return ()
+
+    def _function_return_classes(self, qualname: str) -> Tuple[str, ...]:
+        """One-hop return-type inference for factory functions."""
+        cached = self._return_cache.get(qualname)
+        if cached is not None:
+            return cached
+        self._return_cache[qualname] = ()  # cycle guard
+        node = self._graph.functions.get(qualname)
+        result: Set[str] = set()
+        if node is not None and not node.is_class:
+            scan = self._scan_for(node.module)
+            definition = self._definition_of(node) if scan else None
+            if scan is not None and definition is not None:
+                locals_seen: Dict[str, Tuple[str, ...]] = {}
+                for stmt in definition.body:
+                    for inner in ast.walk(stmt):
+                        if (
+                            isinstance(inner, ast.Assign)
+                            and len(inner.targets) == 1
+                            and isinstance(inner.targets[0], ast.Name)
+                        ):
+                            classes = self._value_classes(
+                                scan, inner.value, {}, locals_seen
+                            )
+                            if classes:
+                                locals_seen[inner.targets[0].id] = classes
+                        elif isinstance(inner, ast.Return) and inner.value is not None:
+                            result |= set(self._value_classes(
+                                scan, inner.value, {}, locals_seen
+                            ))
+        resolved = tuple(sorted(result))
+        self._return_cache[qualname] = resolved
+        return resolved
+
+    def _scan_for(self, module: str) -> Optional[_ModuleScan]:
+        for scan in self._scans:
+            if scan.name == module:
+                return scan
+        return None
+
+    def _definition_of(self, node: FunctionNode) -> Optional[ast.AST]:
+        scan = self._scan_for(node.module)
+        if scan is None:
+            return None
+        for stmt in scan.tree.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == node.name
+                and node.class_name is None
+            ):
+                return stmt
+            if isinstance(stmt, ast.ClassDef) and stmt.name == node.class_name:
+                for child in stmt.body:
+                    if (
+                        isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and child.name == node.name
+                    ):
+                        return child
+        return None
+
+    def _infer_attr_types(
+        self, scan: _ModuleScan, class_node: ast.ClassDef
+    ) -> Dict[str, Tuple[str, ...]]:
+        """``self.x`` -> class qualnames, scanned from every method."""
+        attr_types: Dict[str, Set[str]] = {}
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = self._param_types(scan, method)
+            local_aliases: Dict[str, Tuple[str, ...]] = {}
+            for stmt in method.body:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                    ):
+                        classes = self._value_classes(
+                            scan, node.value, params, local_aliases
+                        )
+                        if classes:
+                            local_aliases[node.targets[0].id] = classes
+                    targets: List[Tuple[ast.AST, Optional[ast.AST], Optional[ast.AST]]] = []
+                    if isinstance(node, ast.Assign):
+                        targets = [(t, node.value, None) for t in node.targets]
+                    elif isinstance(node, ast.AnnAssign):
+                        targets = [(node.target, node.value, node.annotation)]
+                    for target, value, annotation in targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        classes: Set[str] = set(
+                            self._annotation_classes(scan, annotation)
+                        )
+                        if value is not None:
+                            classes |= set(self._value_classes(
+                                scan, value, params, local_aliases
+                            ))
+                        if classes:
+                            attr_types.setdefault(target.attr, set()).update(
+                                classes
+                            )
+        return {
+            attr: tuple(sorted(classes))
+            for attr, classes in attr_types.items()
+        }
+
+    def _param_types(
+        self, scan: _ModuleScan, definition: ast.AST
+    ) -> Dict[str, Tuple[str, ...]]:
+        assert isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = definition.args
+        every = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        result: Dict[str, Tuple[str, ...]] = {}
+        for arg in every:
+            classes = self._annotation_classes(scan, arg.annotation)
+            if classes:
+                result[arg.arg] = classes
+        return result
+
+    # ------------------------------------------------------------------
+    # Pass 3: topics, then call sites
+    # ------------------------------------------------------------------
+    def _scan_topics(self) -> None:
+        for scan in self._scans:
+            for owner, definition in self._iter_definitions(scan):
+                params = self._param_types(scan, definition)
+                local_aliases = self._local_aliases(scan, definition, params)
+                for stmt in definition.body:
+                    for node in ast.walk(stmt):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        func = node.func
+                        if not (
+                            isinstance(func, ast.Attribute)
+                            and func.attr in _BUS_REGISTER_ATTRS
+                        ):
+                            continue
+                        receiver = _dotted(func.value)
+                        if receiver is None or not (
+                            receiver.split(".")[-1].lower().endswith("bus")
+                        ):
+                            continue
+                        topic = self._constant_str(scan, node.args[0]) if node.args else None
+                        if topic is None or len(node.args) < 2:
+                            continue
+                        endpoint = node.args[1]
+                        target: Optional[str] = None
+                        classes = self._value_classes(
+                            scan, endpoint, params, local_aliases
+                        )
+                        if classes:
+                            handle = self._find_method(classes[0], "handle")
+                            target = handle or classes[0]
+                        elif func.attr == "register_handler":
+                            target = self._resolve_symbol(scan, _dotted(endpoint))
+                        if target is not None and topic not in self._graph.topics:
+                            self._graph.topics[topic] = target
+        for topic, hint in sorted(self._model.topic_hints.items()):
+            if topic not in self._graph.topics:
+                handle = self._find_method(hint, "handle")
+                if handle is not None:
+                    self._graph.topics[topic] = handle
+
+    def _constant_str(self, scan: _ModuleScan, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return scan.constants.get(node.id)
+        return None
+
+    def _iter_definitions(self, scan: _ModuleScan):
+        for stmt in scan.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield self._graph.functions["%s.%s" % (scan.name, stmt.name)], stmt
+            elif isinstance(stmt, ast.ClassDef):
+                info = self._graph.classes["%s.%s" % (scan.name, stmt.name)]
+                for child in stmt.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield (
+                            self._graph.functions[info.methods[child.name]],
+                            child,
+                        )
+
+    def _local_aliases(
+        self,
+        scan: _ModuleScan,
+        definition: ast.AST,
+        params: Dict[str, Tuple[str, ...]],
+    ) -> Dict[str, Tuple[str, ...]]:
+        assert isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef))
+        local_aliases: Dict[str, Tuple[str, ...]] = {}
+        for stmt in definition.body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    classes = self._value_classes(
+                        scan, node.value, params, local_aliases
+                    )
+                    if classes:
+                        local_aliases[node.targets[0].id] = classes
+        return local_aliases
+
+    def _collect_sites(self) -> None:
+        for scan in self._scans:
+            for owner, definition in self._iter_definitions(scan):
+                self._collect_function_sites(scan, owner, definition)
+
+    def _collect_function_sites(
+        self, scan: _ModuleScan, owner: FunctionNode, definition: ast.AST
+    ) -> None:
+        assert isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params = self._param_types(scan, definition)
+        param_names = {
+            arg.arg
+            for arg in (
+                list(definition.args.posonlyargs)
+                + list(definition.args.args)
+                + list(definition.args.kwonlyargs)
+            )
+        }
+        local_aliases = self._local_aliases(scan, definition, params)
+        usage: Dict[int, str] = {}
+        loads: Set[str] = set()
+        assigned_names: Dict[int, str] = {}
+        for stmt in definition.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                    usage[id(node.value)] = "discarded"
+                elif (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    assigned_names[id(node.value)] = node.targets[0].id
+                elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    loads.add(node.id)
+        sites = self._graph.sites.setdefault(owner.qualname, [])
+        for stmt in definition.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                site = self._resolve_call(
+                    scan, owner, node, params, param_names, local_aliases
+                )
+                if site is None:
+                    continue
+                bound = assigned_names.get(id(node))
+                if bound is not None and (bound == "_" or bound not in loads):
+                    site_usage = "assigned-unread"
+                else:
+                    site_usage = usage.get(id(node), "used")
+                sites.append(CallSite(
+                    caller=owner.qualname,
+                    file=owner.file,
+                    line=node.lineno,
+                    attr=site[0],
+                    candidates=site[1],
+                    usage=site_usage,
+                    dynamic=site[2],
+                    reason=site[3],
+                ))
+        # Track brownout parameters the function body never reads.
+        if "brownout_level" in param_names and "brownout_level" not in loads:
+            self._graph.unread_params.setdefault(owner.qualname, []).append(
+                ("brownout_level", definition.lineno)
+            )
+
+    def _resolve_call(
+        self,
+        scan: _ModuleScan,
+        owner: FunctionNode,
+        node: ast.Call,
+        params: Dict[str, Tuple[str, ...]],
+        param_names: Set[str],
+        local_aliases: Dict[str, Tuple[str, ...]],
+    ) -> Optional[Tuple[str, Tuple[str, ...], bool, str]]:
+        """(attr, candidates, dynamic, reason) for one call, or None."""
+        func = node.func
+        if isinstance(func, ast.Call):
+            inner = _dotted(func.func)
+            if inner is not None and inner.split(".")[-1] == "getattr":
+                return ("<getattr>", (), True, "getattr() result called")
+            return None
+        if isinstance(func, ast.Name):
+            if func.id in param_names and self._resolve_symbol(scan, func.id) is None:
+                return (func.id, (), True, "call through parameter %r" % func.id)
+            resolved = self._resolve_symbol(scan, func.id)
+            if resolved is None:
+                return None
+            return (func.id, (resolved,), False, "")
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = _dotted(func.value)
+        # Bus traffic: resolve constant topics to the endpoint's handle.
+        if (
+            receiver is not None
+            and receiver.split(".")[-1].lower().endswith("bus")
+            and attr in _BUS_CALL_ATTRS
+        ):
+            topic = self._constant_str(scan, node.args[0]) if node.args else None
+            if topic is None:
+                return (attr, (), True, "bus target is not a constant topic")
+            target = self._graph.topics.get(topic)
+            if target is None:
+                return None
+            return (attr, (target,), False, "")
+        # Full dotted resolution (imported functions, Class.method).
+        resolved = self._resolve_symbol(scan, _dotted(func))
+        if resolved is not None:
+            return (attr, (resolved,), False, "")
+        receiver_classes = self._receiver_classes(
+            scan, owner, func.value, params, local_aliases
+        )
+        if receiver_classes:
+            found = sorted({
+                method
+                for method in (
+                    self._find_method(cls, attr) for cls in receiver_classes
+                )
+                if method is not None
+            })
+            if found:
+                return (attr, tuple(found), False, "")
+            return None
+        if attr in GENERIC_METHOD_NAMES:
+            return None
+        owners = self._method_owners.get(attr)
+        if owners and receiver is not None:
+            hinted = self._hint_match(receiver, owners)
+            if hinted:
+                found = sorted({
+                    method
+                    for method in (
+                        self._find_method(cls, attr) for cls in hinted
+                    )
+                    if method is not None
+                })
+                if found:
+                    return (attr, tuple(found), False, "")
+        return None
+
+    def _receiver_classes(
+        self,
+        scan: _ModuleScan,
+        owner: FunctionNode,
+        receiver: ast.AST,
+        params: Dict[str, Tuple[str, ...]],
+        local_aliases: Dict[str, Tuple[str, ...]],
+    ) -> Tuple[str, ...]:
+        """The classes a call receiver expression may be."""
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and owner.class_name is not None:
+                return ("%s.%s" % (owner.module, owner.class_name),)
+            if receiver.id in local_aliases:
+                return local_aliases[receiver.id]
+            if receiver.id in params:
+                return params[receiver.id]
+            return ()
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+        ):
+            base_classes: Tuple[str, ...] = ()
+            if receiver.value.id == "self" and owner.class_name is not None:
+                base_classes = (
+                    "%s.%s" % (owner.module, owner.class_name),
+                )
+            elif receiver.value.id in local_aliases:
+                base_classes = local_aliases[receiver.value.id]
+            elif receiver.value.id in params:
+                base_classes = params[receiver.value.id]
+            result: Set[str] = set()
+            for cls in base_classes:
+                for ancestor in self._ancestry(cls):
+                    info = self._graph.classes.get(ancestor)
+                    if info is not None and receiver.attr in info.attr_types:
+                        result |= set(info.attr_types[receiver.attr])
+                        break
+            return tuple(sorted(result))
+        return ()
+
+    def _ancestry(self, class_qualname: str) -> List[str]:
+        seen: List[str] = []
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            info = self._graph.classes.get(current)
+            if info is not None:
+                stack.extend(info.bases)
+        return seen
+
+    @staticmethod
+    def _hint_match(receiver: str, owners: List[str]) -> List[str]:
+        """Classes whose name matches the receiver's naming hint."""
+        hint = receiver.split(".")[-1].strip("_").lower().replace("_", "")
+        if not hint:
+            return []
+        trimmed = hint[:-1] if hint.endswith("s") else hint
+        matched = []
+        for qualname in owners:
+            cls = qualname.split(".")[-1].lower()
+            if (
+                hint in cls or cls in hint
+                or trimmed in cls or cls in trimmed
+            ):
+                matched.append(qualname)
+        return matched
+
+    def _constructor_edges(self) -> None:
+        """Calling a class runs its ``__init__``: add the pseudo-edge."""
+        for qualname in sorted(self._graph.classes):
+            init = self._find_method(qualname, "__init__")
+            if init is None:
+                continue
+            node = self._graph.functions[qualname]
+            self._graph.sites.setdefault(qualname, []).append(CallSite(
+                caller=qualname,
+                file=node.file,
+                line=node.lineno,
+                attr="__init__",
+                candidates=(init,),
+            ))
+
+    def build(self) -> CallGraph:
+        self._link_declarations()
+        self._scan_topics()
+        self._collect_sites()
+        self._constructor_edges()
+        self._graph._finish()
+        return self._graph
+
+
+def build_call_graph(
+    paths: Sequence[str], model: FlowModel
+) -> CallGraph:
+    """Parse every python file under ``paths`` into one call graph."""
+    builder = _GraphBuilder(model)
+    for path in collect_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            builder.add_module(path, handle.read())
+    return builder.build()
+
+
+def build_call_graph_from_sources(
+    sources: Dict[str, str], model: FlowModel
+) -> CallGraph:
+    """Testing hook: build from ``{path: source}`` without touching disk."""
+    builder = _GraphBuilder(model)
+    for path in sorted(sources):
+        builder.add_module(path, sources[path])
+    return builder.build()

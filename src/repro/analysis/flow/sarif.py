@@ -1,0 +1,93 @@
+"""Minimal SARIF 2.1.0 rendering of analyzer findings.
+
+SARIF is what CI code-scanning UIs ingest; the flow lint job uploads
+this as an artifact.  Only the stable core of the format is emitted --
+tool metadata, the rule catalog for rules that actually fired, and one
+result per finding -- rendered with sorted keys so same-tree runs are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.findings import RULES, Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, Any]:
+    rule = RULES.get(rule_id)
+    if rule is None:
+        return {"id": rule_id}
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    if finding.file:
+        region: Dict[str, Any] = {}
+        if finding.line:
+            region["startLine"] = finding.line
+        location: Dict[str, Any] = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.file.replace("\\", "/"),
+                },
+            },
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        if finding.subject:
+            location["logicalLocations"] = [
+                {"fullyQualifiedName": finding.subject}
+            ]
+        result["locations"] = [location]
+    elif finding.subject:
+        result["locations"] = [
+            {"logicalLocations": [{"fullyQualifiedName": finding.subject}]}
+        ]
+    return result
+
+
+def render_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """A ``json.dumps``-ready SARIF 2.1.0 log of ``findings``."""
+    fired = sorted({finding.rule_id for finding in findings})
+    rules: List[Dict[str, Any]] = [_rule_descriptor(rule_id) for rule_id in fired]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/ANALYSIS.md"
+                        ),
+                        "rules": rules,
+                    },
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }

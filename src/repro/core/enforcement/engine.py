@@ -212,6 +212,38 @@ class EnforcementEngine:
             ontology=self.ontology,
         )
 
+    def audit_degraded_denial(
+        self,
+        method: str,
+        exc: Exception,
+        now: float,
+        subject_id: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        """Audit a denial issued because a query's backing store faulted.
+
+        The request manager denies (never best-efforts) when inference
+        or the datastore raises mid-query; that denial must be exactly
+        as visible in the audit trail as a policy denial, or the
+        transparency story has a hole precisely where the system is
+        least healthy.  Returns the reasons for the denied response.
+        """
+        reasons = ("degraded: %s" % exc, "fail-closed deny")
+        self.audit.append(
+            AuditRecord(
+                timestamp=now,
+                requester_id="building",
+                phase=DecisionPhase.SHARING,
+                category="degraded:%s" % method,
+                subject_id=subject_id,
+                space_id=None,
+                effect=Effect.DENY,
+                granularity=GranularityLevel.NONE,
+                reasons=reasons,
+                notify_user=False,
+            )
+        )
+        return reasons
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -127,19 +127,28 @@ class RequestManager:
     # ------------------------------------------------------------------
     # Graceful degradation
     # ------------------------------------------------------------------
-    def _degraded(self, method: str, exc: StorageError) -> QueryResponse:
+    def _degraded(
+        self,
+        method: str,
+        exc: StorageError,
+        now: float,
+        subject_id: Optional[str] = None,
+    ) -> QueryResponse:
         """A denied response for a query whose backing store faulted.
 
         Privacy-sensitive data is never released on a best-effort basis:
         if the datastore (or an inference over it) fails mid-query, the
-        service gets a denial, not a partial answer.
+        service gets a denial, not a partial answer.  The denial is
+        audited through the engine so degraded operation never thins
+        the audit trail.
         """
         self.metrics.counter(
             "tippers_degraded_total", {"method": method}
         ).inc()
-        return QueryResponse.denied(
-            ("degraded: %s" % exc, "fail-closed deny")
+        reasons = self._engine.audit_degraded_denial(
+            method, exc, now, subject_id=subject_id
         )
+        return QueryResponse.denied(reasons)
 
     # ------------------------------------------------------------------
     # Request construction
@@ -211,7 +220,7 @@ class RequestManager:
         try:
             estimate = self._inference.locate(subject_id, now)
         except StorageError as exc:
-            return self._degraded("locate_user", exc)
+            return self._degraded("locate_user", exc, now, subject_id)
         request = self._request(
             requester_id,
             requester_kind,
@@ -292,7 +301,7 @@ class RequestManager:
         try:
             occupied = self._inference.is_occupied(space_id, now)
         except StorageError as exc:
-            return self._degraded("room_occupancy", exc)
+            return self._degraded("room_occupancy", exc, now, subject_id)
         return QueryResponse(
             allowed=True,
             value=occupied,
@@ -320,7 +329,7 @@ class RequestManager:
         try:
             present = self._inference.people_in(space_id, now)
         except StorageError as exc:
-            return self._degraded("people_in_space", exc)
+            return self._degraded("people_in_space", exc, now)
         released: List[str] = []
         reasons: Tuple[str, ...] = ()
         for subject_id in present:
@@ -384,7 +393,7 @@ class RequestManager:
         try:
             counts = self._inference.occupancy_map(now, window_s)
         except StorageError as exc:
-            return self._degraded("occupancy_heatmap", exc)
+            return self._degraded("occupancy_heatmap", exc, now)
         suppressed: Dict[str, object] = {
             space: count for space, count in counts.items() if count >= k
         }
@@ -441,7 +450,7 @@ class RequestManager:
         try:
             ties = self._social.ties_of(subject_id)
         except StorageError as exc:
-            return self._degraded("frequent_contacts", exc)
+            return self._degraded("frequent_contacts", exc, now, subject_id)
         for tie in ties:
             other = tie.user_b if tie.user_a == subject_id else tie.user_a
             other_request = self._request(

@@ -74,6 +74,48 @@ class TestFixtureTree:
         assert main(["lint", str(tmp_path)]) == 0
 
 
+class TestJsonOutputIsPure:
+    """``--format json``/``sarif`` stdout must be exactly one JSON doc.
+
+    Regression guard: no banner, summary line, or stale-baseline note
+    may ever leak onto stdout in machine-readable modes -- CI pipes
+    these straight into parsers.
+    """
+
+    def test_whole_stdout_parses_with_findings(self, capsys, fixture_tree):
+        assert main(["lint", "--format", "json", fixture_tree]) == 1
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["count"] == len(VIOLATIONS)
+        assert out.strip().startswith("{")
+        assert out.strip().endswith("}")
+
+    def test_whole_stdout_parses_when_clean(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out) == {
+            "count": 0,
+            "findings": [],
+        }
+
+    def test_policy_audit_json_is_pure(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+
+    def test_sarif_stdout_is_pure(self, capsys, fixture_tree):
+        assert main(["lint", "--format", "sarif", fixture_tree]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert len(payload["runs"][0]["results"]) == len(VIOLATIONS)
+
+    def test_flow_json_stdout_is_pure(self, capsys):
+        assert main(["lint", "--flow", "src", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["stale_baseline_entries"] == []
+
+
 class TestUsageErrors:
     def test_unknown_select_exits_two(self, capsys):
         assert main(["lint", "--select", "Z999", "src"]) == 2
@@ -103,3 +145,5 @@ class TestRuleCatalogDocs:
         out = capsys.readouterr().out
         assert "--select" in out
         assert "--format" in out
+        assert "--flow" in out
+        assert "--write-baseline" in out

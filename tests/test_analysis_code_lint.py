@@ -1,4 +1,4 @@
-"""Unit tests for the AST code linter (rules C001-C006)."""
+"""Unit tests for the AST code linter (rules C001-C007)."""
 
 import textwrap
 
@@ -37,6 +37,26 @@ class TestWallClock:
     def test_injected_clock_clean(self):
         assert rule_ids("def f(clock):\n    return clock.now()\n") == []
 
+    def test_monotonic_flagged(self):
+        assert rule_ids("import time\nstamp = time.monotonic()\n") == ["C001"]
+
+    def test_utcnow_through_assignment_alias_flagged(self):
+        assert rule_ids(
+            "import datetime\n"
+            "_now = datetime.datetime.utcnow\n"
+            "stamp = _now()\n"
+        ) == ["C001"]
+
+    def test_assignment_alias_chain_resolved(self):
+        assert rule_ids(
+            "import time\nt = time\n_now = t.time\nstamp = _now()\n"
+        ) == ["C001"]
+
+    def test_unrelated_assignment_not_an_alias(self):
+        assert rule_ids(
+            "def now():\n    return 0\n_now = now\nstamp = _now()\n"
+        ) == []
+
 
 class TestUnseededRandom:
     def test_global_function_flagged(self):
@@ -53,6 +73,31 @@ class TestUnseededRandom:
 
     def test_from_import_flagged(self):
         assert rule_ids("from random import shuffle\nshuffle([1])\n") == ["C002"]
+
+    def test_lambda_body_flagged(self):
+        assert rule_ids(
+            "import random\npick = lambda xs: random.choice(xs)\n"
+        ) == ["C002"]
+
+    def test_comprehension_flagged(self):
+        assert rule_ids(
+            "import random\nnoise = [random.random() for _ in range(3)]\n"
+        ) == ["C002"]
+
+    def test_unseeded_random_in_comprehension_flagged(self):
+        assert rule_ids(
+            "import random\nrngs = [random.Random() for _ in range(2)]\n"
+        ) == ["C002"]
+
+    def test_constructor_assignment_alias_flagged(self):
+        assert rule_ids(
+            "import random\nR = random.Random\nrng = R()\n"
+        ) == ["C002"]
+
+    def test_seeded_through_alias_clean(self):
+        assert rule_ids(
+            "import random\nR = random.Random\nrng = R(7)\n"
+        ) == []
 
 
 class TestBareExcept:

@@ -176,6 +176,52 @@ class TestStorageDocExamples:
             assert metric in source
 
 
+class TestAnalysisDocExamples:
+    """docs/ANALYSIS.md's flow-baseline example must stay loadable."""
+
+    @pytest.fixture(scope="class")
+    def analysis_text(self):
+        return (DOCS.parent / "ANALYSIS.md").read_text()
+
+    def test_baseline_example_parses(self, analysis_text):
+        from repro.analysis.flow import FLOW_BASELINE_VERSION, FlowBaseline
+
+        # Some of the doc's json blocks are annotated with // comments
+        # for the reader; only strictly-parseable blocks are candidates.
+        candidates = []
+        for block in re.findall(r"```json\n(.*?)```", analysis_text, re.S):
+            try:
+                candidates.append(json.loads(block))
+            except ValueError:
+                continue
+        examples = [
+            block for block in candidates
+            if isinstance(block, dict) and "schema_version" in block
+        ]
+        assert examples, "the analysis doc must show a flow-baseline example"
+        baseline = FlowBaseline.from_dict(examples[0])
+        assert examples[0]["schema_version"] == FLOW_BASELINE_VERSION
+        assert baseline.entries
+        assert baseline.entries[0].rule_id == "F001"
+        assert baseline.entries[0].justification.strip()
+
+    def test_every_flow_rule_documented(self, analysis_text):
+        for rule_id in ("F001", "F002", "F003", "F004", "F005", "F006"):
+            assert "### %s" % rule_id in analysis_text, (
+                "flow rule %s needs its own section" % rule_id
+            )
+
+    def test_makefile_wires_lint_flow(self):
+        makefile = (DOCS.parent.parent / "Makefile").read_text()
+        assert "lint-flow:" in makefile
+        assert "lint --flow" in makefile
+
+    def test_readme_mentions_flow_verification(self):
+        readme = (DOCS.parent.parent / "README.md").read_text()
+        assert "--flow" in readme
+        assert "flow_baseline.json" in readme
+
+
 class TestReadmeQuickstart:
     def test_quickstart_code_runs(self):
         """The README's quickstart snippet must execute as written."""
