@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast bench-smoke bench soak lint lint-flow obs chaos recover overload
+.PHONY: test test-fast diff-test bench-smoke bench soak lint lint-flow obs chaos recover overload
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -13,6 +13,12 @@ test:
 # Skip tests marked slow (multi-day simulation runs).
 test-fast:
 	$(PYTEST) -x -q -m "not slow"
+
+# Differential proof of the compiled enforcement tables: the ci
+# Hypothesis profile generates 250 examples per property (>= 1000
+# decisions checked against the reference interpreter per run).
+diff-test:
+	REPRO_DIFF_PROFILE=diff-ci $(PYTEST) tests/differential -q
 
 # Sanity-pass the benchmark harness without timing loops: runs each
 # figure/scale benchmark once and prints the metric baseline.

@@ -39,6 +39,12 @@ class Tolerances:
     wal_slack_bytes: int = 65536
     rss_factor: float = 3.0
     latency_floor_us: float = DEFAULT_LATENCY_FLOOR_US
+    #: Candidates that measure compiled enforcement must keep the
+    #: compiled-vs-interpreter speedup at least this high.  The PR that
+    #: introduced the tables landed >= 10x (see docs/BENCHMARKS.md);
+    #: the floor sits below that so scheduler noise on shared CI boxes
+    #: cannot fail a build that did not regress the engine.
+    compiled_speedup_floor: float = 8.0
 
 
 @dataclass(frozen=True)
@@ -212,6 +218,22 @@ def compare_records(
                 base_rate, cand_rate,
                 base_rate + tolerances.rate_slack,
                 detail="abs slack %g" % tolerances.rate_slack,
+            )
+        cand_speedup = cand.extra.get("compiled_speedup")
+        if cand_speedup is not None:
+            # Fires only when the candidate measured the compiled path
+            # (older baselines predate the metric, so absence there
+            # falls back to the absolute floor).
+            base_speedup = base.extra.get("compiled_speedup", 0.0)
+            floor = tolerances.compiled_speedup_floor
+            if base_speedup:
+                floor = max(
+                    floor, base_speedup / tolerances.throughput_factor
+                )
+            _lower_bound(
+                report, name, "extra.compiled_speedup",
+                base_speedup, cand_speedup, floor,
+                detail="floor %gx" % tolerances.compiled_speedup_floor,
             )
         if base.wal_bytes:
             _upper_bound(

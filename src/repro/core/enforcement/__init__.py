@@ -13,10 +13,16 @@ user data".
   objects, resolves them, and applies the chosen mechanism.
 - :mod:`repro.core.enforcement.audit` -- an append-only audit log of
   every decision, which the IoTA and building admin can inspect.
+- :mod:`repro.core.enforcement.compiled` -- the Section V-C
+  optimization: decisions compiled into per-user tables, proven
+  equivalent to the reference engine by ``tests/differential``.
+- :mod:`repro.core.enforcement.tables` -- (de)serialization of compiled
+  tables, so they round-trip through the WAL as advisory records.
 """
 
 from repro.core.enforcement.audit import AuditLog, AuditRecord
-from repro.core.enforcement.cache import CachingEnforcementEngine
+from repro.core.enforcement.cache import CachingEnforcementEngine, time_stable
+from repro.core.enforcement.compiled import CompiledEnforcementEngine
 from repro.core.enforcement.engine import Decision, EnforcementEngine
 from repro.core.enforcement.mechanisms import (
     aggregate_counts,
@@ -25,11 +31,16 @@ from repro.core.enforcement.mechanisms import (
     laplace_noise,
     suppress_personal_fields,
 )
+from repro.core.enforcement.tables import export_table, import_table
 
 __all__ = [
     "EnforcementEngine",
     "CachingEnforcementEngine",
+    "CompiledEnforcementEngine",
     "Decision",
+    "time_stable",
+    "export_table",
+    "import_table",
     "AuditLog",
     "AuditRecord",
     "coarsen_space",

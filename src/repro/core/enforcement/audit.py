@@ -8,17 +8,23 @@ transparency half of the paper's accountability story.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.core.language.vocabulary import GranularityLevel
 from repro.core.policy.base import DataRequest, DecisionPhase, Effect
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 
-@dataclass(frozen=True)
-class AuditRecord:
-    """One enforcement decision, flattened for storage."""
+class AuditRecord(NamedTuple):
+    """One enforcement decision, flattened for storage.
+
+    A ``NamedTuple`` rather than a dataclass: the enforcement hot path
+    constructs one record per decision, and tuple construction is an
+    order of magnitude cheaper than frozen-dataclass ``__init__``.  The
+    field order is part of the compiled-table layout (see
+    ``enforcement/compiled.py``): a cached row stores the tail of this
+    tuple (everything after ``timestamp``) precomputed.
+    """
 
     timestamp: float
     requester_id: str
@@ -57,15 +63,21 @@ class AuditLog:
         self._m_records = registry.gauge("audit_records")
 
     def append(self, record: AuditRecord) -> None:
-        if len(self._records) >= self._capacity:
+        records = self._records
+        if len(records) >= self._capacity:
             keep = self._capacity // 2
-            trimmed = len(self._records) - keep
+            trimmed = len(records) - keep
             self.dropped += trimmed
             self._m_dropped.inc(trimmed)
-            self._records = self._records[-keep:]
-        self._records.append(record)
-        self._m_appends.inc()
-        self._m_records.set(len(self._records))
+            # Trim in place: the list's identity is stable for the
+            # log's lifetime, which the compiled engine's hit path
+            # relies on (it binds the list once per log).
+            del records[:trimmed]
+        records.append(record)
+        # Direct attribute bumps (not .inc()/.set()) keep this on the
+        # compiled fast path's budget; semantics are identical.
+        self._m_appends.value += 1
+        self._m_records.value = len(records)
 
     def __len__(self) -> int:
         return len(self._records)

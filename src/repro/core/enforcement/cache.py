@@ -23,8 +23,30 @@ from typing import Hashable, Tuple
 
 from repro.core.enforcement.engine import Decision, EnforcementEngine
 from repro.core.policy.base import DataRequest
+from repro.core.reasoner.index import RuleStore
 from repro.core.reasoner.resolution import Resolution, resolve
 from repro.errors import ReproError
+
+
+def time_stable(store: RuleStore, request: DataRequest) -> bool:
+    """True when no candidate rule's outcome depends on the timestamp.
+
+    The exactness condition shared by the decision cache and the
+    compiled table: a memoized resolution may only be reused when every
+    candidate rule for the request is time-insensitive, so the
+    timestamp provably cannot change the outcome.  A faulted re-fetch
+    cannot prove safety; it reads as unstable rather than propagating.
+    """
+    try:
+        for policy in store.candidate_policies(request):
+            if policy.condition.time_sensitive:
+                return False
+        for preference in store.candidate_preferences(request):
+            if preference.condition.time_sensitive:
+                return False
+    except ReproError:
+        return False
+    return True
 
 
 class CachingEnforcementEngine(EnforcementEngine):
@@ -75,18 +97,7 @@ class CachingEnforcementEngine(EnforcementEngine):
 
     def _cacheable(self, request: DataRequest) -> bool:
         """True when no candidate rule's outcome depends on time."""
-        try:
-            for policy in self.store.candidate_policies(request):
-                if policy.condition.time_sensitive:
-                    return False
-            for preference in self.store.candidate_preferences(request):
-                if preference.condition.time_sensitive:
-                    return False
-        except ReproError:
-            # A faulted re-fetch cannot prove cache safety; treat the
-            # decision as uncacheable rather than propagating.
-            return False
-        return True
+        return time_stable(self.store, request)
 
     # ------------------------------------------------------------------
     # Decisions

@@ -1,0 +1,418 @@
+"""Compiled enforcement: flattened per-user decision tables.
+
+Section V-C names enforcement cost the obstacle to deploying the
+paper's model at building scale.  The reference
+:class:`~repro.core.enforcement.engine.EnforcementEngine` re-walks
+policy documents and preferences on every request; this module compiles
+each (building policy set x user preference set) into a flattened
+decision table so a repeat request is a pair of dict probes.
+
+Layout
+------
+
+The table is sharded per *subject* (the user the data is about, with a
+dedicated shard for subject-less requests), because a user preference
+can only ever apply to requests about its own user
+(``UserPreference.applies_to`` requires ``request.subject_id ==
+user_id``).  Within a shard, rows are keyed by every remaining request
+field a rule can consult::
+
+    (requester_id, requester_kind, phase, category,
+     space_id, purpose, granularity, sensor_type)
+
+Shards exist for invalidation bookkeeping; serving goes through one
+flat dict keyed by ``(subject_id,) + row_key`` so a warm decision is a
+single probe.  Every invalidation path keeps the two views in
+lockstep.  A row stores the :class:`Resolution` to serve, the
+precomputed tail of the :class:`AuditRecord` tuple (everything after
+the timestamp), and the decisions counter for the row's effect -- so
+the hit path allocates only the two NamedTuples it must return.
+
+Invalidation protocol
+---------------------
+
+Correctness never depends on anyone remembering to call a hook.  The
+rule store carries monotonic counters
+(:attr:`~repro.core.reasoner.index.RuleStore.version`,
+:attr:`~repro.core.reasoner.index.RuleStore.policy_version`, and
+:attr:`~repro.core.reasoner.index.RuleStore.preference_versions`) that
+every mutation bumps.  ``decide`` compares the single global
+``version`` per request, and only when it moved reconciles against the
+fine-grained counters:
+
+- a policy mutation drops *every* shard (policies affect all users);
+- a preference mutation of user U drops exactly U's shard.
+
+The :class:`~repro.tippers.preference_manager.PreferenceManager`
+listener hooks additionally call :meth:`invalidate_user` eagerly so a
+withdrawn user's rows are reclaimed without waiting for their next
+request, and :meth:`invalidate_all` backs context changes (user
+profiles feed ``ProfileCondition``, which is time-insensitive and hence
+compiled into rows).
+
+Equivalence
+-----------
+
+A row is compiled only when no candidate rule for the request is
+time-sensitive -- the same exactness proof as the decision cache
+(:func:`~repro.core.enforcement.cache.time_stable`) -- so a served row
+is bit-for-bit what the reference interpreter would have produced:
+same effect, granularity, reasons ordering, notify flag, and audit
+record.  Brownout-noted decisions bypass the table in both directions,
+and fail-closed denials are never compiled.  ``tests/differential``
+holds the harness that proves this against the reference engine as
+oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from operator import attrgetter
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.enforcement.audit import AuditLog, AuditRecord
+from repro.core.enforcement.cache import time_stable
+from repro.core.enforcement.engine import Decision, EnforcementEngine
+from repro.core.policy.base import DataRequest
+from repro.core.reasoner.resolution import resolve
+from repro.errors import ReproError
+
+_perf_counter = time.perf_counter
+_tuple_new = tuple.__new__
+#: One C call builds the whole row key (vs eight LOAD_ATTRs).
+_row_key = attrgetter(
+    "requester_id",
+    "requester_kind",
+    "phase",
+    "category",
+    "space_id",
+    "purpose",
+    "granularity",
+    "sensor_type",
+)
+#: The serving key: subject first, then the row key.  The hit path
+#: probes one flat dict with this 9-tuple; the per-subject shards only
+#: do invalidation bookkeeping.
+_flat_key = attrgetter(
+    "subject_id",
+    "requester_id",
+    "requester_kind",
+    "phase",
+    "category",
+    "space_id",
+    "purpose",
+    "granularity",
+    "sensor_type",
+)
+
+
+class TableShard:
+    """The compiled rows for one subject (or the subject-less shard)."""
+
+    __slots__ = ("pref_version", "rows")
+
+    def __init__(self, pref_version: int) -> None:
+        #: The subject's preference counter at compile time; a mismatch
+        #: against the store means this shard is stale.
+        self.pref_version = pref_version
+        #: row key -> (resolution, audit_tail, decisions_counter_inc)
+        self.rows: Dict[Hashable, tuple] = {}
+
+
+class CompiledEnforcementEngine(EnforcementEngine):
+    """An enforcement engine serving repeat requests from compiled rows.
+
+    Constructed via ``EnforcementEngine(compiled=True, ...)`` (the
+    TIPPERS spelling) or directly.  ``shard_capacity`` bounds rows per
+    shard (a full shard is recompiled from scratch); ``max_shards``
+    bounds distinct subjects (FIFO eviction).
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        shard_capacity: int = 4096,
+        max_shards: int = 16384,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if shard_capacity < 1:
+            raise ValueError("shard_capacity must be positive")
+        if max_shards < 1:
+            raise ValueError("max_shards must be positive")
+        self._shards: Dict[Optional[str], TableShard] = {}
+        #: Flat serving table: ``_flat_key(request)`` -> row.  Always
+        #: the union of every shard's rows (with the subject prefixed);
+        #: every invalidation path keeps the two in lockstep.
+        self._rows: Dict[Hashable, tuple] = {}
+        # These dicts are mutated in place and never replaced, so their
+        # bound ``get``s stay valid for the engine's lifetime; binding
+        # them here drops attribute hops from the hit path.
+        self._rows_get = self._rows.get
+        self._shards_get = self._shards.get
+        self._pref_version_of = self.store.preference_versions.get
+        self._shard_capacity = shard_capacity
+        self._max_shards = max_shards
+        self._policy_version = self.store.policy_version
+        self._store_version = self.store.version
+        self._row_count = 0
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+        self._m_hits = self.metrics.counter(
+            "enforcement_table_total", {"result": "hit"}
+        )
+        self._m_misses = self.metrics.counter(
+            "enforcement_table_total", {"result": "miss"}
+        )
+        self._m_uncacheable = self.metrics.counter(
+            "enforcement_table_total", {"result": "uncacheable"}
+        )
+        self._m_shards = self.metrics.gauge("enforcement_table_shards")
+        self._m_rows = self.metrics.gauge("enforcement_table_rows")
+        self._m_invalidations = self.metrics.counter(
+            "enforcement_table_invalidations_total"
+        )
+
+    # The hit path inlines the append for a plain in-memory AuditLog
+    # (subclasses -- e.g. the WAL-backed DurableAuditLog -- always get
+    # their own ``append`` so no logging is bypassed); the property
+    # setter keeps the bindings fresh if anyone swaps the log.  The
+    # bound objects are stable for the log's lifetime: ``AuditLog``
+    # never replaces its records list (trim is in place) or counters.
+    @property
+    def audit(self):  # type: ignore[override]
+        return self._audit
+
+    @audit.setter
+    def audit(self, value) -> None:
+        self._audit = value
+        if type(value) is AuditLog:
+            self._audit_records = value._records
+            self._audit_capacity = value._capacity
+            self._audit_m_appends = value._m_appends
+            self._audit_m_records = value._m_records
+        else:
+            self._audit_records = None
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(
+        self, request: DataRequest, notes: Tuple[str, ...] = ()
+    ) -> Decision:
+        # Noted decisions (brownout-degraded responses) bypass the table
+        # in both directions, exactly like the decision cache: a row
+        # must not shed its degradation marker, and a marked resolution
+        # must not be served later to an un-degraded request.
+        if notes:
+            return super().decide(request, notes)
+        start = _perf_counter()
+        store = self.store
+        # One integer compare guards the whole table: ``store.version``
+        # moves on every rule mutation, and ``_reconcile`` re-checks
+        # the fine-grained counters only then.  The invariant between
+        # mutations: every resident shard is valid.
+        if store.version != self._store_version:
+            self._reconcile()
+        row = self._rows_get(_flat_key(request))
+        if row is not None:
+            self.hits += 1
+            # Direct .value bumps (not .inc()) -- method-call
+            # overhead is measurable at this path's budget.
+            self._m_hits.value += 1
+            record = _tuple_new(
+                AuditRecord, (request.timestamp,) + row[1]
+            )
+            records = self._audit_records
+            if (
+                records is not None
+                and len(records) < self._audit_capacity
+            ):
+                # Inlined AuditLog.append below-capacity branch
+                # (same bumps, no trim possible).
+                records.append(record)
+                self._audit_m_appends.value += 1
+                self._audit_m_records.value += 1
+            else:
+                self._audit.append(record)
+            row[2].value += 1  # enforcement_decisions_total{effect=...}
+            # A hit evaluates zero rules and skips the rules
+            # histogram; enforcement_rules_evaluated measures
+            # interpreter work only (see docs/BENCHMARKS.md).
+            # The latency histogram update is inlined (same
+            # arithmetic as Histogram.observe, which property
+            # tests pin): the call overhead alone is ~10% of a
+            # table hit.
+            elapsed = _perf_counter() - start
+            latency = self._m_latency
+            latency.counts[
+                bisect_left(latency.boundaries, elapsed)
+            ] += 1
+            latency.count += 1
+            latency.sum += elapsed
+            if latency.min is None or elapsed < latency.min:
+                latency.min = elapsed
+            if latency.max is None or elapsed > latency.max:
+                latency.max = elapsed
+            return _tuple_new(Decision, (request, row[0]))
+
+        # Miss: run the reference interpreter, then compile the outcome.
+        try:
+            match = self._matcher.match(request)
+        except ReproError as exc:
+            # Fail-closed denials are transient by construction; they
+            # are never compiled into the table.
+            return self._fail_closed(request, exc, start)
+        resolution = resolve(match, self.strategy)
+        self._record(request, resolution)
+        if time_stable(store, request):
+            self.misses += 1
+            self._m_misses.inc()
+            subject = request.subject_id
+            shard = self._shards_get(subject)
+            if shard is None:
+                shards = self._shards
+                if len(shards) >= self._max_shards:
+                    self._drop_shard(next(iter(shards)))
+                shard = shards[subject] = TableShard(
+                    self._pref_version_of(subject, 0)
+                )
+                self._m_shards.set(len(shards))
+            if len(shard.rows) >= self._shard_capacity:
+                self._clear_shard_rows(subject, shard)
+            key = _row_key(request)
+            row = shard.rows[key] = (
+                resolution,
+                (
+                    request.requester_id,
+                    request.phase,
+                    request.category.value,
+                    subject,
+                    request.space_id,
+                    resolution.effect,
+                    resolution.granularity,
+                    resolution.reasons,
+                    resolution.notify_user,
+                ),
+                self._m_decisions[resolution.effect],
+            )
+            self._rows[(subject,) + key] = row
+            self._row_count += 1
+            self._m_rows.set(self._row_count)
+        else:
+            self.uncacheable += 1
+            self._m_uncacheable.inc()
+        self._note_decision(
+            resolution,
+            len(match.policies) + len(match.preferences),
+            _perf_counter() - start,
+        )
+        return Decision(request=request, resolution=resolution)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _reconcile(self) -> None:
+        """Re-validate every shard against the store's fine counters.
+
+        Called when ``store.version`` moved since the last decide: a
+        policy change drops everything, a preference change drops
+        exactly the mutated users' shards.  Between calls, every
+        resident shard is valid, so the hit path needs only the single
+        ``store.version`` compare.
+        """
+        store = self.store
+        if store.policy_version != self._policy_version:
+            self._drop_all_shards()
+            self._policy_version = store.policy_version
+        else:
+            pref_of = self._pref_version_of
+            stale = [
+                subject
+                for subject, shard in self._shards.items()
+                if shard.pref_version != pref_of(subject, 0)
+            ]
+            for subject in stale:
+                self._drop_shard(subject)
+        self._store_version = store.version
+
+    def _clear_shard_rows(
+        self, subject: Optional[str], shard: TableShard
+    ) -> None:
+        """Empty ``shard`` and its entries in the flat serving table."""
+        rows = self._rows
+        for key in shard.rows:
+            del rows[(subject,) + key]
+        self._row_count -= len(shard.rows)
+        shard.rows.clear()
+
+    def _drop_shard(self, subject: Optional[str]) -> None:
+        shard = self._shards.pop(subject, None)
+        if shard is not None:
+            self._clear_shard_rows(subject, shard)
+            self._m_invalidations.inc()
+            self._m_shards.set(len(self._shards))
+            self._m_rows.set(self._row_count)
+
+    def _drop_all_shards(self) -> None:
+        if self._shards:
+            self._shards.clear()
+            self._rows.clear()
+            self._row_count = 0
+            self._m_invalidations.inc()
+            self._m_shards.set(0)
+            self._m_rows.set(0)
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Drop the compiled shard for ``user_id`` (no-op if absent).
+
+        Wired to the preference manager's submit/withdraw listeners for
+        eager reclamation; the per-decide version check would catch the
+        staleness anyway.
+        """
+        self._drop_shard(user_id)
+
+    def invalidate_all(self) -> None:
+        """Drop every shard (context changed, e.g. user profiles)."""
+        self._drop_all_shards()
+        self._policy_version = self.store.policy_version
+        self._store_version = self.store.version
+
+    # ------------------------------------------------------------------
+    # Serialization (see tables.py)
+    # ------------------------------------------------------------------
+    def export_table(self) -> Dict[str, object]:
+        """The compiled table as a JSON-compatible dict."""
+        from repro.core.enforcement.tables import export_table
+
+        return export_table(self)
+
+    def import_table(self, data: Dict[str, object]) -> int:
+        """Adopt still-valid shards from an exported table."""
+        from repro.core.enforcement.tables import import_table
+
+        return import_table(self, data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table_rows(self) -> int:
+        return self._row_count
+
+    @property
+    def table_shards(self) -> int:
+        return len(self._shards)
+
+    def table_stats(self) -> dict:
+        total = self.hits + self.misses + self.uncacheable
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+            "hit_rate": self.hits / total if total else 0.0,
+            "shards": len(self._shards),
+            "rows": self._row_count,
+        }

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.core.enforcement.audit import AuditLog, AuditRecord
 from repro.core.enforcement.mechanisms import degrade_observation
@@ -69,9 +68,12 @@ DEFAULT_SENSOR_PURPOSE: Dict[str, Purpose] = {
 }
 
 
-@dataclass(frozen=True)
-class Decision:
-    """A resolution plus the audit record it produced."""
+class Decision(NamedTuple):
+    """A resolution plus the audit record it produced.
+
+    A ``NamedTuple`` (not a dataclass) so the per-decision construction
+    cost stays negligible on the compiled fast path.
+    """
 
     request: DataRequest
     resolution: Resolution
@@ -86,7 +88,24 @@ class Decision:
 
 
 class EnforcementEngine:
-    """Resolves and applies policies at every decision phase."""
+    """Resolves and applies policies at every decision phase.
+
+    Pass ``compiled=True`` to get a :class:`CompiledEnforcementEngine`
+    (see ``enforcement/compiled.py``): same constructor, same decision
+    semantics bit-for-bit, but repeat requests are served from a
+    flattened per-user decision table instead of re-walking policy
+    documents.  The plain class remains the reference interpreter the
+    differential test harness treats as the oracle.
+    """
+
+    def __new__(cls, *args: object, **kwargs: object) -> "EnforcementEngine":
+        if cls is EnforcementEngine and kwargs.get("compiled"):
+            from repro.core.enforcement.compiled import (
+                CompiledEnforcementEngine,
+            )
+
+            return super().__new__(CompiledEnforcementEngine)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -98,6 +117,8 @@ class EnforcementEngine:
         sensor_purposes: Optional[Dict[str, Purpose]] = None,
         audit: Optional[AuditLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        compiled: bool = False,
     ) -> None:
         self.store = store if store is not None else PolicyIndex()
         self.context = context if context is not None else EvaluationContext()

@@ -1,0 +1,193 @@
+"""Serialization of compiled decision tables.
+
+A compiled table is an *advisory* artifact: losing it costs warm-up
+misses, never correctness.  That shapes the format and the import
+contract:
+
+- :func:`export_table` emits a deterministic JSON-compatible dict
+  (shards sorted by subject, rows sorted by encoded key) stamped with
+  the store's ``policy_version`` and each shard's preference counter.
+- :func:`import_table` adopts **only** shards whose version stamps
+  still match the engine's store; everything else is silently skipped.
+  An adopted row rebuilds its precomputed audit tail and counter
+  binding from the decoded key and resolution, so a round-tripped
+  table serves decisions byte-identical to the originals.
+
+The WAL carries tables as ``table`` records
+(:meth:`~repro.storage.durable.StorageEngine.log_compiled_table`);
+recovery surfaces the latest one on
+:attr:`~repro.storage.recovery.RecoveredState.compiled_table`, and
+compaction drops table records by construction (the snapshot has no
+table file) -- a stale table is garbage, not state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.language.vocabulary import (
+    DataCategory,
+    GranularityLevel,
+    Purpose,
+)
+from repro.core.policy.base import DecisionPhase, Effect, RequesterKind
+from repro.core.reasoner.resolution import Resolution
+
+#: Bumped when the encoded layout changes; :func:`import_table` rejects
+#: versions it does not understand.
+TABLE_SCHEMA_VERSION = 1
+
+
+def _encode_key(key: Tuple[Any, ...]) -> List[Any]:
+    requester_id, kind, phase, category, space_id, purpose, gran, sensor = key
+    return [
+        requester_id,
+        kind.value,
+        phase.value,
+        category.value,
+        space_id,
+        None if purpose is None else purpose.value,
+        gran.value,
+        sensor,
+    ]
+
+
+def _decode_key(data: List[Any]) -> Tuple[Any, ...]:
+    requester_id, kind, phase, category, space_id, purpose, gran, sensor = data
+    return (
+        requester_id,
+        RequesterKind(kind),
+        DecisionPhase(phase),
+        DataCategory(category),
+        space_id,
+        None if purpose is None else Purpose(purpose),
+        GranularityLevel(gran),
+        sensor,
+    )
+
+
+def _encode_resolution(resolution: Resolution) -> Dict[str, Any]:
+    return {
+        "effect": resolution.effect.value,
+        "granularity": resolution.granularity.value,
+        "policy_ids": list(resolution.policy_ids),
+        "preference_ids": list(resolution.preference_ids),
+        "notify_user": resolution.notify_user,
+        "reasons": list(resolution.reasons),
+    }
+
+
+def _decode_resolution(data: Dict[str, Any]) -> Resolution:
+    return Resolution(
+        effect=Effect(data["effect"]),
+        granularity=GranularityLevel(data["granularity"]),
+        policy_ids=tuple(data["policy_ids"]),
+        preference_ids=tuple(data["preference_ids"]),
+        notify_user=bool(data["notify_user"]),
+        reasons=tuple(data["reasons"]),
+    )
+
+
+def _subject_sort_key(subject: Optional[str]) -> Tuple[bool, str]:
+    # The subject-less shard sorts first; JSON has no tuple keys, so
+    # shards are a list of objects rather than a mapping.
+    return (subject is not None, subject if subject is not None else "")
+
+
+def export_table(engine: Any) -> Dict[str, Any]:
+    """``engine``'s compiled table as a JSON-compatible dict.
+
+    ``engine`` is a
+    :class:`~repro.core.enforcement.compiled.CompiledEnforcementEngine`
+    (duck-typed to avoid an import cycle).  Output is deterministic for
+    a given table, so same-seed runs log byte-identical table records.
+    """
+    shards = []
+    for subject in sorted(engine._shards, key=_subject_sort_key):
+        shard = engine._shards[subject]
+        rows = sorted(
+            ([_encode_key(key), _encode_resolution(row[0])]
+             for key, row in shard.rows.items()),
+            key=lambda entry: [
+                "" if part is None else str(part) for part in entry[0]
+            ],
+        )
+        shards.append(
+            {
+                "subject": subject,
+                "pref_version": shard.pref_version,
+                "rows": rows,
+            }
+        )
+    return {
+        "schema": TABLE_SCHEMA_VERSION,
+        "policy_version": engine.store.policy_version,
+        "shards": shards,
+    }
+
+
+def import_table(engine: Any, data: Dict[str, Any]) -> int:
+    """Adopt still-valid shards of ``data`` into ``engine``.
+
+    Returns the number of rows adopted.  A shard is adopted only when
+    the exported ``policy_version`` matches the store's current one and
+    the shard's ``pref_version`` matches the subject's current
+    preference counter; a schema the build does not understand raises
+    ``ValueError`` (callers treating tables as advisory should catch
+    and discard).
+    """
+    from repro.core.enforcement.compiled import TableShard
+
+    schema = data.get("schema")
+    if schema != TABLE_SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported compiled-table schema %r (this build "
+            "understands %d)" % (schema, TABLE_SCHEMA_VERSION)
+        )
+    store = engine.store
+    if data.get("policy_version") != store.policy_version:
+        return 0
+    # The engine's version snapshots may predate store setup (they are
+    # taken at construction); reconcile flushes any stale shards and
+    # re-baselines the counters before adopting -- otherwise the next
+    # decide would drop the adopted rows too.
+    engine._reconcile()
+    adopted = 0
+    for shard_data in data.get("shards", ()):
+        subject = shard_data.get("subject")
+        pref_version = shard_data.get("pref_version")
+        if pref_version != store.preference_versions.get(subject, 0):
+            continue
+        if len(engine._shards) >= engine._max_shards:
+            break
+        shard = engine._shards.get(subject)
+        if shard is None:
+            shard = engine._shards[subject] = TableShard(pref_version)
+        for key_data, resolution_data in shard_data.get("rows", ()):
+            if len(shard.rows) >= engine._shard_capacity:
+                break
+            key = _decode_key(key_data)
+            resolution = _decode_resolution(resolution_data)
+            if key in shard.rows:
+                continue
+            row = shard.rows[key] = (
+                resolution,
+                (
+                    key[0],  # requester_id
+                    key[2],  # phase
+                    key[3].value,  # category
+                    subject,
+                    key[4],  # space_id
+                    resolution.effect,
+                    resolution.granularity,
+                    resolution.reasons,
+                    resolution.notify_user,
+                ),
+                engine._m_decisions[resolution.effect],
+            )
+            engine._rows[(subject,) + key] = row
+            adopted += 1
+            engine._row_count += 1
+    engine._m_shards.set(len(engine._shards))
+    engine._m_rows.set(engine._row_count)
+    return adopted

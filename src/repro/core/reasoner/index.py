@@ -29,6 +29,17 @@ class RuleStore:
     #: on this value so any rule change invalidates them wholesale.
     version: int = 0
 
+    #: Monotonic counter bumped only by policy mutations.  The compiled
+    #: enforcement engine checks it per decision: a change drops every
+    #: table shard (policies affect all users).
+    policy_version: int = 0
+
+    #: Per-user monotonic counters bumped by preference mutations of
+    #: that user.  The compiled engine compares a shard's recorded
+    #: counter against this map so a preference change evicts exactly
+    #: the affected user's shard -- never the whole table.
+    preference_versions: Dict[str, int]
+
     def add_policy(self, policy: BuildingPolicy) -> None:
         raise NotImplementedError
 
@@ -65,18 +76,25 @@ class LinearRuleStore(RuleStore):
         self._policies: Dict[str, BuildingPolicy] = {}
         self._preferences: Dict[str, UserPreference] = {}
         self.version = 0
+        self.policy_version = 0
+        self.preference_versions = {}
 
     def add_policy(self, policy: BuildingPolicy) -> None:
         self._policies[policy.policy_id] = policy
         self.version += 1
+        self.policy_version += 1
 
     def add_preference(self, preference: UserPreference) -> None:
         self._preferences[preference.preference_id] = preference
         self.version += 1
+        self.preference_versions[preference.user_id] = (
+            self.preference_versions.get(preference.user_id, 0) + 1
+        )
 
     def remove_policy(self, policy_id: str) -> None:
         if self._policies.pop(policy_id, None) is not None:
             self.version += 1
+            self.policy_version += 1
 
     def remove_preferences_of(self, user_id: str) -> int:
         doomed = [
@@ -86,6 +104,9 @@ class LinearRuleStore(RuleStore):
             del self._preferences[pid]
         if doomed:
             self.version += 1
+            self.preference_versions[user_id] = (
+                self.preference_versions.get(user_id, 0) + 1
+            )
         return len(doomed)
 
     def candidate_policies(self, request: DataRequest) -> List[BuildingPolicy]:
@@ -124,6 +145,8 @@ class PolicyIndex(RuleStore):
             lambda: defaultdict(set)
         )
         self.version = 0
+        self.policy_version = 0
+        self.preference_versions = {}
 
     # ------------------------------------------------------------------
     # Bucketing helpers
@@ -158,6 +181,7 @@ class PolicyIndex(RuleStore):
         for key in self._keys_for(policy.phases, policy.categories):
             self._policy_buckets[key].add(policy.policy_id)
         self.version += 1
+        self.policy_version += 1
 
     def add_preference(self, preference: UserPreference) -> None:
         self._remove_preference(preference.preference_id)
@@ -166,6 +190,9 @@ class PolicyIndex(RuleStore):
         for key in self._keys_for(preference.phases, preference.categories):
             buckets[key].add(preference.preference_id)
         self.version += 1
+        self.preference_versions[preference.user_id] = (
+            self.preference_versions.get(preference.user_id, 0) + 1
+        )
 
     def remove_policy(self, policy_id: str) -> None:
         policy = self._policies.pop(policy_id, None)
@@ -174,6 +201,7 @@ class PolicyIndex(RuleStore):
         for key in self._keys_for(policy.phases, policy.categories):
             self._policy_buckets[key].discard(policy_id)
         self.version += 1
+        self.policy_version += 1
 
     def _remove_preference(self, preference_id: str) -> None:
         preference = self._preferences.pop(preference_id, None)
@@ -193,6 +221,9 @@ class PolicyIndex(RuleStore):
         self._pref_buckets.pop(user_id, None)
         if doomed:
             self.version += 1
+            self.preference_versions[user_id] = (
+                self.preference_versions.get(user_id, 0) + 1
+            )
         return len(doomed)
 
     # ------------------------------------------------------------------

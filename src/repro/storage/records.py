@@ -13,6 +13,9 @@ Record types:
 ``audit``               one enforcement decision (audit record dict)
 ``pref``                a submitted user preference (latest wins per id)
 ``pref_withdraw_all``   all of a user's preferences were withdrawn
+``table``               a compiled enforcement decision table (advisory
+                        cache artifact; latest wins, dropped by
+                        compaction)
 ======================  ================================================
 """
 
@@ -28,8 +31,9 @@ ERASE = "erase"
 AUDIT = "audit"
 PREF = "pref"
 PREF_WITHDRAW_ALL = "pref_withdraw_all"
+TABLE = "table"
 
-RECORD_TYPES = (OBS, ERASE, AUDIT, PREF, PREF_WITHDRAW_ALL)
+RECORD_TYPES = (OBS, ERASE, AUDIT, PREF, PREF_WITHDRAW_ALL, TABLE)
 
 
 def encode_record(record_type: str, data: Dict[str, Any]) -> bytes:

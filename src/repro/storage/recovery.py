@@ -118,6 +118,10 @@ class RecoveredState:
     audit: AuditLog
     preferences: List[Dict[str, Any]]
     report: RecoveryReport
+    #: The newest compiled enforcement table logged before the crash
+    #: (advisory: adopt via ``import_table``, which skips shards whose
+    #: version stamps no longer match the live store), or ``None``.
+    compiled_table: Optional[Dict[str, Any]] = None
 
 
 def is_storage_directory(directory: str) -> bool:
@@ -143,6 +147,7 @@ def replay_directory(
     datastore = into_datastore if into_datastore is not None else Datastore()
     audit = into_audit if into_audit is not None else AuditLog()
     preferences: "Dict[tuple, Dict[str, Any]]" = {}
+    extras: Dict[str, Any] = {}
 
     def torn_tail(_message: str) -> None:
         report.snapshot_torn_tails += 1
@@ -176,7 +181,9 @@ def replay_directory(
                 report.torn_segment = scan.name
                 report.torn_reason = "lsn-gap"
                 break
-            _apply_frame(frame.payload, datastore, audit, preferences, report)
+            _apply_frame(
+                frame.payload, datastore, audit, preferences, extras, report
+            )
             report.frames_replayed += 1
             report.last_lsn = frame.lsn
             expected_lsn += 1
@@ -190,7 +197,11 @@ def replay_directory(
     report.preferences_restored = len(preferences)
     ordered = [preferences[key] for key in sorted(preferences, key=str)]
     return RecoveredState(
-        datastore=datastore, audit=audit, preferences=ordered, report=report
+        datastore=datastore,
+        audit=audit,
+        preferences=ordered,
+        report=report,
+        compiled_table=extras.get("compiled_table"),
     )
 
 
@@ -199,6 +210,7 @@ def _apply_frame(
     datastore: Datastore,
     audit: AuditLog,
     preferences: "Dict[tuple, Dict[str, Any]]",
+    extras: Dict[str, Any],
     report: RecoveryReport,
 ) -> None:
     record_type, data = records.decode_record(payload)
@@ -224,6 +236,11 @@ def _apply_frame(
         user_id = data.get("user_id")
         for key in [k for k in preferences if k[0] == user_id]:
             del preferences[key]
+    elif record_type == records.TABLE:
+        # Advisory cache artifact: latest wins, adoption (and version
+        # validation) happens in import_table after the rule store is
+        # rebuilt.
+        extras["compiled_table"] = data
 
 
 def recover(

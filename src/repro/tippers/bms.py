@@ -67,6 +67,7 @@ class TIPPERS(Endpoint):
         settings_space: Optional[SettingsSpace] = None,
         enforce_capture: bool = True,
         cache_decisions: bool = False,
+        compile_decisions: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         storage: Optional["StorageEngine"] = None,
         health_supervisor: Optional[SensorHealthSupervisor] = None,
@@ -93,6 +94,10 @@ class TIPPERS(Endpoint):
             self.datastore: Datastore = DurableDatastore(storage)
         else:
             self.datastore = Datastore()
+        if cache_decisions and compile_decisions:
+            raise PolicyError(
+                "cache_decisions and compile_decisions are exclusive"
+            )
         engine_cls = CachingEnforcementEngine if cache_decisions else EnforcementEngine
         self.engine = engine_cls(
             store=self.store,
@@ -101,6 +106,7 @@ class TIPPERS(Endpoint):
             ontology=self.ontology,
             audit=audit,
             metrics=self.metrics,
+            compiled=compile_decisions,
         )
         self.sensor_manager = SensorManager(
             self.engine,
@@ -127,6 +133,17 @@ class TIPPERS(Endpoint):
             on_submit=None if storage is None else storage.log_preference,
             on_withdraw_all=None if storage is None else storage.log_withdraw_all,
         )
+        if compile_decisions:
+            # Eager shard reclamation; the engine's per-decide version
+            # check keeps correctness even for mutations that bypass
+            # the manager (e.g. direct store writes in benchmarks).
+            engine = self.engine
+            self.preference_manager.add_submit_listener(
+                lambda preference: engine.invalidate_user(preference.user_id)
+            )
+            self.preference_manager.add_withdraw_listener(
+                engine.invalidate_user
+            )
         self.inference = InferenceEngine(self.datastore, spatial)
         self.social = SocialInference(self.datastore)
         self.request_manager = RequestManager(
@@ -149,6 +166,12 @@ class TIPPERS(Endpoint):
         result = self.directory.add(profile)
         # Conditions consult the context's profile map; refresh it.
         self.context.user_profiles = self.directory.group_map()
+        # Profile groups feed ProfileCondition, which is declared
+        # time-insensitive and hence compiled into table rows; rows
+        # predating this profile change must not survive it.
+        invalidate = getattr(self.engine, "invalidate_all", None)
+        if invalidate is not None:
+            invalidate()
         return result
 
     def deploy_sensor(

@@ -1,0 +1,10 @@
+"""Differential tests: compiled enforcement vs the reference interpreter.
+
+The reference :class:`~repro.core.enforcement.engine.EnforcementEngine`
+is the oracle.  Every test here drives a
+:class:`~tests.differential.harness.EnginePair` -- the interpreter and
+the compiled engine built from identical rule stores -- through the
+same request stream (interleaved with rule mutations and injected
+faults) and asserts the two produce identical resolutions, audit
+trails, and decision counters at every step.
+"""

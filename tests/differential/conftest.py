@@ -1,0 +1,44 @@
+"""Hypothesis profiles for the differential suite.
+
+Two profiles, both fully deterministic (``derandomize=True`` replaces
+the random seed with one derived from each test, so a CI failure
+reproduces locally with no seed juggling):
+
+- ``diff-dev`` (default): small example counts so the suite stays
+  inside the tier-1 budget.
+- ``diff-ci``: what ``make diff-test`` runs -- large example counts so
+  one CI run covers >= 1000 generated cases across the suite.
+
+``REPRO_DIFF_PROFILE`` selects the profile; ``REPRO_DIFF_EXAMPLES``
+overrides the per-test example count on top of whichever profile is
+active (used to scale a local soak without editing code).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "diff-dev",
+    max_examples=20,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "diff-ci",
+    max_examples=250,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_profile = os.environ.get("REPRO_DIFF_PROFILE", "diff-dev")
+_examples = os.environ.get("REPRO_DIFF_EXAMPLES")
+if _examples:
+    settings.register_profile(
+        _profile, settings.get_profile(_profile), max_examples=int(_examples)
+    )
+settings.load_profile(_profile)

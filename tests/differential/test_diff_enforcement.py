@@ -1,0 +1,207 @@
+"""Differential tests: compiled tables vs the reference interpreter.
+
+Every test drives the :class:`~tests.differential.harness.EnginePair`
+through generated workloads and asserts bit-for-bit equivalent
+outcomes.  The example counts come from the profiles in ``conftest.py``
+(``diff-ci`` runs >= 1000 generated cases across this module alone).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, strategies as st
+
+from repro.core.policy.base import Effect
+from repro.faults import FaultInjector, FaultKind, FaultSpec, single_spec_plan
+from tests.differential.harness import EnginePair
+from tests.differential.strategies import (
+    policies,
+    preferences,
+    requests,
+    runs,
+    strategies,
+    subject_requests,
+)
+
+
+@given(
+    policy_list=st.lists(policies, max_size=6),
+    preference_list=st.lists(preferences, max_size=6),
+    request_list=st.lists(requests, min_size=1, max_size=15),
+)
+def test_static_rules_two_passes(policy_list, preference_list, request_list):
+    """Same stream twice: the second pass is served mostly from compiled
+    rows and must not change a single outcome, audit record, or counter."""
+    pair = EnginePair(policies=policy_list, preferences=preference_list)
+    for _ in range(2):
+        for request in request_list:
+            pair.decide(request)
+    pair.assert_trails_equal()
+    pair.assert_counters_equal()
+
+
+@given(
+    policy_list=st.lists(policies, max_size=5),
+    preference_list=st.lists(preferences, max_size=5),
+    run=runs,
+)
+def test_mutation_interleavings(policy_list, preference_list, run):
+    """Requests interleaved with policy/preference mutations: compiled
+    rows must go stale exactly when the interpreter's answer changes."""
+    pair = EnginePair(policies=policy_list, preferences=preference_list)
+    for step in run:
+        pair.apply(step)
+    pair.assert_trails_equal()
+    pair.assert_counters_equal()
+
+
+@given(
+    strategy=strategies,
+    policy_list=st.lists(policies, max_size=4),
+    preference_list=st.lists(preferences, max_size=4),
+    request_list=st.lists(subject_requests, min_size=1, max_size=10),
+)
+def test_every_resolution_strategy(
+    strategy, policy_list, preference_list, request_list
+):
+    pair = EnginePair(
+        policies=policy_list, preferences=preference_list, strategy=strategy
+    )
+    for _ in range(2):
+        for request in request_list:
+            pair.decide(request)
+    pair.assert_trails_equal()
+
+
+@given(
+    policy_list=st.lists(policies, min_size=1, max_size=4),
+    request=subject_requests,
+    notes=st.lists(
+        st.sampled_from(
+            ["brownout: coarse granularity", "brownout: sampled", "degraded"]
+        ),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ).map(tuple),
+)
+def test_noted_decisions_bypass_table(policy_list, request, notes):
+    """Brownout-noted decisions must be equivalent too -- and never
+    populate or consult the table on either side of a plain decide."""
+    pair = EnginePair(policies=policy_list)
+    pair.decide(request, notes)
+    assert pair.compiled.table_rows == 0, "noted decision was compiled"
+    pair.decide(request)  # plain miss compiles the row...
+    pair.decide(request, notes)  # ...which a noted decide must not serve
+    pair.decide(request)
+    pair.assert_trails_equal()
+    pair.assert_counters_equal()
+
+
+@given(
+    policy_list=st.lists(policies, min_size=1, max_size=4),
+    preference_list=st.lists(preferences, max_size=4),
+    base=subject_requests,
+    before=st.integers(1, 4),
+    during=st.integers(1, 4),
+    after=st.integers(1, 4),
+)
+def test_fail_closed_fault_injection(
+    policy_list, preference_list, base, before, during, after
+):
+    """An injected policy-fetch outage fails both engines closed
+    identically, and the fail-closed denials are never compiled.
+
+    Each engine gets its own injector (their step counters advance at
+    different rates: the compiled miss path fetches candidates again in
+    its cacheability check), so the outage is delimited by install /
+    uninstall rather than step windows, and the step number embedded in
+    the fail-closed reason is masked by the harness.  Requests use a
+    fresh requester id per step: a warm compiled row would otherwise
+    (by design, like the decision cache) keep serving during the
+    outage, which is an availability difference, not an equivalence
+    bug -- see test_warm_rows_serve_through_outage.
+    """
+    pair = EnginePair(policies=policy_list, preferences=preference_list)
+    serial = [0]
+
+    def fresh():
+        serial[0] += 1
+        return dataclasses.replace(base, requester_id="svc-%04d" % serial[0])
+
+    for _ in range(before):
+        pair.decide(fresh())
+
+    outage = FaultSpec(kind=FaultKind.POLICY_FETCH_FAIL, target="policy_store")
+    injectors = []
+    for engine in (pair.reference, pair.compiled):
+        injector = FaultInjector(single_spec_plan(outage))
+        injector.install_policy_store(engine.store)
+        injectors.append(injector)
+    try:
+        outage_requests = [fresh() for _ in range(during)]
+        for request in outage_requests:
+            expected, actual = pair.decide(request)
+            assert expected.resolution.effect is Effect.DENY
+            assert "fail-closed deny" in actual.resolution.reasons
+    finally:
+        for injector in injectors:
+            injector.uninstall()
+
+    assert pair.compiled.metrics.total("enforcement_failclosed_total") == during
+    rows_after_outage = pair.compiled.table_rows
+    for request in outage_requests:
+        pair.decide(request)  # same keys again: must re-evaluate, not hit
+    assert (
+        pair.compiled.hits == 0
+    ), "a fail-closed denial was compiled into the table"
+    assert pair.compiled.table_rows >= rows_after_outage
+    for _ in range(after):
+        pair.decide(fresh())
+    pair.assert_trails_equal()
+    pair.assert_counters_equal()
+
+
+def test_warm_rows_serve_through_outage():
+    """Documented availability asymmetry: a warm compiled row keeps
+    serving during a policy-fetch outage (the row needs no fetch), while
+    the interpreter fails closed -- the same trade the decision cache
+    makes.  This is the one deliberate non-equivalence, pinned here so a
+    future change to either behavior is a conscious one."""
+    from repro.core.language.vocabulary import DataCategory, Purpose
+    from repro.core.policy import catalog
+    from repro.core.policy.base import DataRequest, DecisionPhase, RequesterKind
+
+    pair = EnginePair(policies=[catalog.policy_service_sharing("b")])
+
+    request = DataRequest(
+        requester_id="svc-a",
+        requester_kind=RequesterKind.BUILDING_SERVICE,
+        phase=DecisionPhase.SHARING,
+        category=DataCategory.LOCATION,
+        subject_id="mary",
+        space_id="b-1001",
+        timestamp=100.0,
+        purpose=Purpose.PROVIDING_SERVICE,
+    )
+    pair.decide(request)  # warm the row (and the oracle, pre-outage)
+    warm = pair.compiled.decide(dataclasses.replace(request, timestamp=200.0))
+
+    injector = FaultInjector(
+        single_spec_plan(
+            FaultSpec(kind=FaultKind.POLICY_FETCH_FAIL, target="policy_store")
+        )
+    )
+    injector.install_policy_store(pair.compiled.store)
+    try:
+        during = pair.compiled.decide(dataclasses.replace(request, timestamp=300.0))
+        assert during.resolution == warm.resolution, (
+            "warm row must keep serving through the outage"
+        )
+        cold = dataclasses.replace(request, requester_id="svc-cold")
+        denied = pair.compiled.decide(cold)
+        assert denied.resolution.effect is Effect.DENY
+        assert "fail-closed deny" in denied.resolution.reasons
+    finally:
+        injector.uninstall()

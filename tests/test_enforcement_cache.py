@@ -156,3 +156,62 @@ class TestCaching:
         assert stats["misses"] == 1
         assert 0.0 <= stats["hit_rate"] <= 1.0
         assert stats["size"] == 1
+
+
+class TestCompiledBrownoutBypass:
+    """The compiled table must honor the same brownout contract as the
+    decision cache: noted decisions bypass it in both directions."""
+
+    @pytest.fixture
+    def compiled(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        spatial = build_simple_building("b", 2, 4)
+        engine = EnforcementEngine(
+            context=EvaluationContext(spatial=spatial),
+            metrics=MetricsRegistry(),
+            compiled=True,
+        )
+        engine.store.add_policy(catalog.policy_service_sharing("b"))
+        return engine
+
+    def test_noted_decision_is_never_compiled(self, compiled):
+        noted = compiled.decide(request(), notes=("brownout: degraded",))
+        assert "brownout: degraded" in noted.resolution.reasons
+        assert compiled.table_rows == 0
+        assert compiled.hits == 0
+
+    def test_warm_row_never_serves_a_noted_request(self, compiled):
+        plain = compiled.decide(request())
+        assert compiled.table_rows == 1
+        noted = compiled.decide(
+            request(timestamp=200.0), notes=("brownout: degraded",)
+        )
+        assert compiled.hits == 0, "noted decide must not consult the table"
+        assert "brownout: degraded" in noted.resolution.reasons
+        assert "brownout: degraded" not in plain.resolution.reasons
+        again = compiled.decide(request(timestamp=300.0))
+        assert compiled.hits == 1
+        assert again.resolution == plain.resolution, (
+            "the compiled row must not absorb the brownout note"
+        )
+
+    def test_time_stable_module_helper_matches_cacheable(self):
+        """time_stable (shared by cache and table) is importable from
+        the package root and agrees with the caching engine's gate."""
+        from repro.core.enforcement import time_stable
+
+        spatial = build_simple_building("b", 2, 4)
+        engine = CachingEnforcementEngine(
+            context=EvaluationContext(spatial=spatial)
+        )
+        engine.store.add_policy(catalog.policy_service_sharing("b"))
+        engine.store.add_preference(
+            catalog.preference_1_office_after_hours("mary", "b-1001")
+        )
+        stable = request(category=DataCategory.LOCATION)
+        unstable = request(category=DataCategory.OCCUPANCY)
+        assert time_stable(engine.store, stable)
+        assert not time_stable(engine.store, unstable)
+        assert engine._cacheable(stable)
+        assert not engine._cacheable(unstable)

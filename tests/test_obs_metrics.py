@@ -202,3 +202,86 @@ class TestDefaultRegistry:
         finally:
             set_registry(previous)
         assert get_registry() is previous
+
+
+class TestEnforcementMetricCompatibility:
+    """The compiled engine must emit the reference engine's metric
+    families with identical names and label keys -- dashboards keyed on
+    enforcement_decisions_total{effect=...} and
+    enforcement_decide_seconds must not notice the switch -- and its new
+    table metrics carry only the documented result labels."""
+
+    @staticmethod
+    def _build(compiled):
+        from repro.core.enforcement.engine import EnforcementEngine
+        from repro.core.language.vocabulary import DataCategory, Purpose
+        from repro.core.policy import catalog
+        from repro.core.policy.base import (
+            DataRequest,
+            DecisionPhase,
+            RequesterKind,
+        )
+
+        registry = MetricsRegistry()
+        engine = EnforcementEngine(metrics=registry, compiled=compiled)
+        engine.store.add_policy(catalog.policy_service_sharing("b"))
+        for timestamp in (100.0, 200.0):
+            engine.decide(
+                DataRequest(
+                    requester_id="svc",
+                    requester_kind=RequesterKind.BUILDING_SERVICE,
+                    phase=DecisionPhase.SHARING,
+                    category=DataCategory.LOCATION,
+                    subject_id="mary",
+                    space_id=None,
+                    timestamp=timestamp,
+                    purpose=Purpose.PROVIDING_SERVICE,
+                )
+            )
+        return registry
+
+    @staticmethod
+    def _families(registry, prefix):
+        families = {}
+        for store in (registry._counters, registry._gauges, registry._histograms):
+            for name, labels in store:
+                if name.startswith(prefix):
+                    families.setdefault(name, set()).add(
+                        tuple(sorted(key for key, _ in labels))
+                    )
+        return families
+
+    def test_shared_families_have_identical_label_keys(self):
+        reference = self._families(self._build(compiled=False), "enforcement_")
+        compiled = self._families(self._build(compiled=True), "enforcement_")
+        for name, label_keys in reference.items():
+            assert compiled.get(name) == label_keys, (
+                "compiled engine changed labels of %s" % name
+            )
+
+    def test_decision_counter_totals_match(self):
+        reference = self._build(compiled=False)
+        compiled = self._build(compiled=True)
+        assert compiled.total("enforcement_decisions_total") == reference.total(
+            "enforcement_decisions_total"
+        )
+        assert (
+            compiled.histogram("enforcement_decide_seconds").count
+            == reference.histogram("enforcement_decide_seconds").count
+        )
+
+    def test_table_metrics_use_documented_result_labels(self):
+        registry = self._build(compiled=True)
+        families = self._families(registry, "enforcement_table_")
+        assert families["enforcement_table_total"] == {("result",)}
+        assert families["enforcement_table_shards"] == {()}
+        assert families["enforcement_table_rows"] == {()}
+        assert families["enforcement_table_invalidations_total"] == {()}
+        results = {
+            dict(labels)["result"]
+            for (name, labels) in registry._counters
+            if name == "enforcement_table_total"
+        }
+        assert results == {"hit", "miss", "uncacheable"}
+        assert registry.total("enforcement_table_total", {"result": "hit"}) == 1
+        assert registry.total("enforcement_table_total", {"result": "miss"}) == 1
