@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast diff-test bench-smoke bench soak lint lint-flow obs chaos recover overload
+.PHONY: test test-fast diff-test bench-smoke bench soak lint lint-flow obs chaos recover overload federate
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -94,3 +94,13 @@ overload:
 	          --seed 11 --report-out /tmp/repro-overload-b.txt
 	diff /tmp/repro-overload-a.txt /tmp/repro-overload-b.txt
 	PYTHONPATH=src $(PYTHON) -m repro overload --no-admission --seed 11
+
+# Federation sweep: the sharded-campus test suite, then two same-seed
+# campus-storm runs whose deterministic reports must be byte-identical.
+federate:
+	$(PYTEST) -x -q tests/test_federation.py tests/test_federate_scenario.py
+	PYTHONPATH=src $(PYTHON) -m repro federate --plan campus-storm \
+	          --seed 17 --report-out /tmp/repro-federate-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro federate --plan campus-storm \
+	          --seed 17 --report-out /tmp/repro-federate-b.txt
+	diff /tmp/repro-federate-a.txt /tmp/repro-federate-b.txt

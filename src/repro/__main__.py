@@ -42,6 +42,15 @@ overload [--plan NAME] [--seed N] [--population N] [--ticks N] [--json]
     violated.  ``--no-admission`` runs the same workload with the
     controller disabled (the ablation baseline); ``--report-out PATH``
     writes the deterministic report text for byte-diffing.
+federate [--plan NAME] [--seed N] [--population N] [--ticks N] [--json]
+    Run the multi-building federation scenario: a campus of
+    independently-WAL'd TIPPERS shards behind a consistent-hash router,
+    IoTA roaming handoffs with ``roaming:<home>`` audit markers, a shard
+    crash + WAL recovery mid-run, and a campus-wide DSAR fan-out with
+    per-shard compaction (default plan ``campus-storm``).  The report is
+    seeded and byte-reproducible; exits 1 if any federation invariant is
+    violated.  ``--report-out PATH`` writes the report text for
+    byte-diffing; ``--dir PATH`` keeps each shard's WAL directory.
 recover --dir PATH [--json]
     Replay an existing storage directory (snapshot + WAL) and print the
     recovery report without mutating it.
@@ -408,6 +417,45 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_federate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FaultError, FederationError
+    from repro.simulation.federate import run_federate_scenario
+
+    buildings = None
+    if args.buildings:
+        buildings = [b.strip() for b in args.buildings.split(",") if b.strip()]
+    try:
+        kwargs = {}
+        if buildings is not None:
+            kwargs["buildings"] = buildings
+        report = run_federate_scenario(
+            plan_name=args.plan,
+            seed=args.seed,
+            population=args.population,
+            ticks=args.ticks,
+            directory=args.dir,
+            **kwargs
+        )
+    except (FaultError, FederationError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(report.report_text)
+    if args.report_out:
+        try:
+            with open(args.report_out, "w") as handle:
+                handle.write(report.report_text)
+        except OSError as error:
+            print("error: cannot write %s: %s" % (args.report_out, error),
+                  file=sys.stderr)
+            return 2
+    return 0 if report.ok else 1
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json
 
@@ -702,6 +750,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the deterministic report text here",
     )
     overload.set_defaults(func=_cmd_overload)
+
+    federate = subparsers.add_parser(
+        "federate",
+        help="run the multi-building federation scenario",
+    )
+    federate.add_argument(
+        "--plan", default="campus-storm",
+        help="fault plan name (default: campus-storm)",
+    )
+    federate.add_argument("--seed", type=int, default=17)
+    federate.add_argument("--population", type=_positive_int, default=12)
+    federate.add_argument("--ticks", type=_positive_int, default=16)
+    federate.add_argument(
+        "--buildings", default=None, metavar="CSV",
+        help="comma-separated building ids (default: bldg-a..bldg-d)",
+    )
+    federate.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="keep each shard's WAL under this storage root",
+    )
+    federate.add_argument("--json", action="store_true",
+                          help="print the report as JSON")
+    federate.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the deterministic report text here",
+    )
+    federate.set_defaults(func=_cmd_federate)
 
     recover = subparsers.add_parser(
         "recover", help="replay a storage directory and print the recovery report"

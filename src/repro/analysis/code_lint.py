@@ -130,9 +130,14 @@ LAYER_DAG: Dict[str, Set[str]] = {
     "irr": {"core", "errors", "net", "obs", "spatial", "tippers"},
     "iota": {"core", "errors", "net", "obs", "spatial"},
     "services": {"core", "errors", "net", "obs", "spatial", "tippers"},
+    "federation": {
+        "core", "errors", "irr", "net", "obs", "sensors", "spatial",
+        "tippers", "users",
+    },
     "simulation": {
-        "analysis", "core", "errors", "faults", "iota", "irr", "net",
-        "obs", "sensors", "services", "spatial", "tippers", "users",
+        "analysis", "core", "errors", "faults", "federation", "iota",
+        "irr", "net", "obs", "sensors", "services", "spatial",
+        "tippers", "users",
     },
 }
 

@@ -20,8 +20,16 @@ deterministic way:
 - Bus ``call``/``publish`` sites with a constant topic become a direct
   edge to the registered endpoint's ``handle`` method, resolved via a
   topic map scanned from ``bus.register(...)`` sites (with configured
-  fallback hints).  Non-constant targets are recorded as *dynamic*
-  sites, which rule F006 reports on tainted paths.
+  fallback hints).  Registrations of the form ``PREFIX + suffix``
+  where ``PREFIX`` is a resolvable string constant (module-local or
+  imported, e.g. the federation's ``SHARD_ENDPOINT_PREFIX``) feed a
+  *prefix* map, and call sites whose topic shares a registered prefix
+  resolve through it -- longest prefix wins.  Only targets that stay
+  non-constant with no known prefix are recorded as *dynamic* sites,
+  which rule F006 reports on tainted paths.
+- A call through the ``cls`` parameter of a ``@classmethod`` resolves
+  to the enclosing class's constructor pseudo-node instead of being
+  flagged dynamic.
 - Every collection iterates files, functions, and candidates in sorted
   order, so the same tree always produces the same graph.
 """
@@ -107,6 +115,9 @@ class CallGraph:
         self.callers: Dict[str, List[str]] = {}
         #: topic -> endpoint qualname (``Class.handle`` or a function).
         self.topics: Dict[str, str] = {}
+        #: topic prefix -> endpoint qualname, from ``PREFIX + suffix``
+        #: registrations (sharded endpoints like ``tippers-<building>``).
+        self.topic_prefixes: Dict[str, str] = {}
         #: file -> {line -> suppressed rule ids} (# repro: noqa).
         self.suppressions: Dict[str, Dict[int, Set[str]]] = {}
         #: function params named brownout_level that are never read.
@@ -179,6 +190,9 @@ class _GraphBuilder:
         #: method name -> sorted owning class qualnames.
         self._method_owners: Dict[str, List[str]] = {}
         self._return_cache: Dict[str, Tuple[str, ...]] = {}
+        #: absolute dotted constant name -> string value, across every
+        #: module, so imported endpoint prefixes resolve at call sites.
+        self._module_constants: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Pass 1: declarations
@@ -205,6 +219,9 @@ class _GraphBuilder:
                     and isinstance(node.value.value, str)
                 ):
                     scan.constants[target.id] = node.value.value
+                    self._module_constants[
+                        "%s.%s" % (scan.name, target.id)
+                    ] = node.value.value
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._declare_function(scan, node, class_info=None)
             elif isinstance(node, ast.ClassDef):
@@ -545,8 +562,14 @@ class _GraphBuilder:
                             receiver.split(".")[-1].lower().endswith("bus")
                         ):
                             continue
-                        topic = self._constant_str(scan, node.args[0]) if node.args else None
-                        if topic is None or len(node.args) < 2:
+                        if len(node.args) < 2:
+                            continue
+                        topic = self._constant_str(scan, node.args[0])
+                        prefix = (
+                            None if topic is not None
+                            else self._constant_prefix(scan, node.args[0])
+                        )
+                        if topic is None and prefix is None:
                             continue
                         endpoint = node.args[1]
                         target: Optional[str] = None
@@ -558,8 +581,13 @@ class _GraphBuilder:
                             target = handle or classes[0]
                         elif func.attr == "register_handler":
                             target = self._resolve_symbol(scan, _dotted(endpoint))
-                        if target is not None and topic not in self._graph.topics:
-                            self._graph.topics[topic] = target
+                        if target is None:
+                            continue
+                        if topic is not None:
+                            if topic not in self._graph.topics:
+                                self._graph.topics[topic] = target
+                        elif prefix not in self._graph.topic_prefixes:
+                            self._graph.topic_prefixes[prefix] = target
         for topic, hint in sorted(self._model.topic_hints.items()):
             if topic not in self._graph.topics:
                 handle = self._find_method(hint, "handle")
@@ -570,8 +598,34 @@ class _GraphBuilder:
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
             return node.value
         if isinstance(node, ast.Name):
-            return scan.constants.get(node.id)
+            local = scan.constants.get(node.id)
+            if local is not None:
+                return local
+            absolute = scan.imports.resolve(node.id)
+            if absolute is not None:
+                return self._module_constants.get(absolute)
+            return None
+        if isinstance(node, ast.Attribute):
+            absolute = scan.imports.resolve(_dotted(node))
+            if absolute is not None:
+                return self._module_constants.get(absolute)
         return None
+
+    def _constant_prefix(self, scan: _ModuleScan, node: ast.AST) -> Optional[str]:
+        """The constant left edge of a ``PREFIX + suffix`` expression."""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            return self._constant_str(scan, node.left)
+        return None
+
+    def _prefix_target(self, topic: str) -> Optional[str]:
+        """The longest registered endpoint prefix covering ``topic``."""
+        best: Optional[str] = None
+        best_len = -1
+        for prefix in sorted(self._graph.topic_prefixes):
+            if topic.startswith(prefix) and len(prefix) > best_len:
+                best = self._graph.topic_prefixes[prefix]
+                best_len = len(prefix)
+        return best
 
     def _iter_definitions(self, scan: _ModuleScan):
         for stmt in scan.tree.body:
@@ -627,6 +681,12 @@ class _GraphBuilder:
             )
         }
         local_aliases = self._local_aliases(scan, definition, params)
+        cls_target: Optional[str] = None
+        if owner.class_name is not None and any(
+            isinstance(dec, ast.Name) and dec.id == "classmethod"
+            for dec in definition.decorator_list
+        ):
+            cls_target = "%s.%s" % (owner.module, owner.class_name)
         usage: Dict[int, str] = {}
         loads: Set[str] = set()
         assigned_names: Dict[int, str] = {}
@@ -649,7 +709,8 @@ class _GraphBuilder:
                 if not isinstance(node, ast.Call):
                     continue
                 site = self._resolve_call(
-                    scan, owner, node, params, param_names, local_aliases
+                    scan, owner, node, params, param_names, local_aliases,
+                    cls_target,
                 )
                 if site is None:
                     continue
@@ -682,6 +743,7 @@ class _GraphBuilder:
         params: Dict[str, Tuple[str, ...]],
         param_names: Set[str],
         local_aliases: Dict[str, Tuple[str, ...]],
+        cls_target: Optional[str] = None,
     ) -> Optional[Tuple[str, Tuple[str, ...], bool, str]]:
         """(attr, candidates, dynamic, reason) for one call, or None."""
         func = node.func
@@ -692,6 +754,10 @@ class _GraphBuilder:
             return None
         if isinstance(func, ast.Name):
             if func.id in param_names and self._resolve_symbol(scan, func.id) is None:
+                if func.id == "cls" and cls_target is not None:
+                    # ``cls(...)`` inside a @classmethod is the
+                    # enclosing class's constructor, not open dispatch.
+                    return (func.id, (cls_target,), False, "")
                 return (func.id, (), True, "call through parameter %r" % func.id)
             resolved = self._resolve_symbol(scan, func.id)
             if resolved is None:
@@ -708,12 +774,22 @@ class _GraphBuilder:
             and attr in _BUS_CALL_ATTRS
         ):
             topic = self._constant_str(scan, node.args[0]) if node.args else None
-            if topic is None:
-                return (attr, (), True, "bus target is not a constant topic")
-            target = self._graph.topics.get(topic)
-            if target is None:
-                return None
-            return (attr, (target,), False, "")
+            if topic is not None:
+                target = self._graph.topics.get(topic)
+                if target is None:
+                    target = self._prefix_target(topic)
+                if target is None:
+                    return None
+                return (attr, (target,), False, "")
+            prefix = (
+                self._constant_prefix(scan, node.args[0])
+                if node.args else None
+            )
+            if prefix is not None:
+                target = self._prefix_target(prefix)
+                if target is not None:
+                    return (attr, (target,), False, "")
+            return (attr, (), True, "bus target is not a constant topic")
         # Full dotted resolution (imported functions, Class.method).
         resolved = self._resolve_symbol(scan, _dotted(func))
         if resolved is not None:

@@ -32,6 +32,8 @@ from repro.bench.runner import (
 from repro.bench.schema import (
     BENCH_SCHEMA_VERSION,
     BENCHMARK_NAMES,
+    OPTIONAL_BENCHMARK_NAMES,
+    REQUIRED_BENCHMARK_NAMES,
     BenchmarkEntry,
     BenchRecord,
     LatencySummary,
@@ -46,6 +48,8 @@ __all__ = [
     "ComparisonReport",
     "LatencySummary",
     "MetricVerdict",
+    "OPTIONAL_BENCHMARK_NAMES",
+    "REQUIRED_BENCHMARK_NAMES",
     "SCALES",
     "ScalePreset",
     "Tolerances",

@@ -30,14 +30,28 @@ from repro.errors import BenchError
 #: Bump when the record shape changes; ``from_dict`` rejects others.
 BENCH_SCHEMA_VERSION = 1
 
-#: Every record must carry exactly these benchmarks -- the library
+#: Every record must carry at least these benchmarks -- the library
 #: twins of the ``benchmarks/test_scale_*`` suite, in SCALE order.
-BENCHMARK_NAMES: Tuple[str, ...] = (
+REQUIRED_BENCHMARK_NAMES: Tuple[str, ...] = (
     "scale_enforcement",
     "scale_ingest",
     "scale_notifications",
     "scale_week",
     "scale_overload",
+)
+
+#: Benchmarks that joined the suite after records were already
+#: committed.  They are validated and compared like any other entry
+#: when present, but records that predate them stay loadable -- the
+#: trajectory is append-only, so the schema cannot retroactively
+#: require what BENCH_0001 could not have measured.
+OPTIONAL_BENCHMARK_NAMES: Tuple[str, ...] = (
+    "scale_federate",
+)
+
+#: Every benchmark name this build understands, in SCALE order.
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    REQUIRED_BENCHMARK_NAMES + OPTIONAL_BENCHMARK_NAMES
 )
 
 
@@ -220,7 +234,7 @@ class BenchRecord:
         _require(bool(self.scale), "scale must be a non-empty string")
         _require(isinstance(self.label, str), "label must be a string")
         _non_negative_int(self.peak_rss_kb, "peak_rss_kb")
-        missing = [n for n in BENCHMARK_NAMES if n not in self.benchmarks]
+        missing = [n for n in REQUIRED_BENCHMARK_NAMES if n not in self.benchmarks]
         _require(not missing, "record is missing benchmarks: %s" % ", ".join(missing))
         unknown = [n for n in self.benchmarks if n not in BENCHMARK_NAMES]
         _require(not unknown, "record has unknown benchmarks: %s" % ", ".join(unknown))
@@ -240,7 +254,9 @@ class BenchRecord:
             "label": self.label,
             "peak_rss_kb": self.peak_rss_kb,
             "benchmarks": {
-                name: self.benchmarks[name].to_dict() for name in BENCHMARK_NAMES
+                name: self.benchmarks[name].to_dict()
+                for name in BENCHMARK_NAMES
+                if name in self.benchmarks
             },
         }
 

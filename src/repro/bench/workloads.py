@@ -48,6 +48,8 @@ class ScalePreset:
     week_ticks_per_day: int
     overload_population: int
     overload_ticks: int
+    federate_population: int
+    federate_ticks: int
 
 
 #: ``smoke`` keeps the unit-test suite fast, ``ci`` is what the bench
@@ -63,6 +65,7 @@ SCALES: Dict[str, ScalePreset] = {
             notification_repeats=3,
             week_days=1, week_population=6, week_ticks_per_day=4,
             overload_population=4, overload_ticks=6,
+            federate_population=12, federate_ticks=16,
         ),
         ScalePreset(
             name="ci",
@@ -72,6 +75,7 @@ SCALES: Dict[str, ScalePreset] = {
             notification_repeats=20,
             week_days=2, week_population=10, week_ticks_per_day=8,
             overload_population=8, overload_ticks=12,
+            federate_population=12, federate_ticks=16,
         ),
         ScalePreset(
             name="full",
@@ -81,6 +85,7 @@ SCALES: Dict[str, ScalePreset] = {
             notification_repeats=50,
             week_days=8, week_population=24, week_ticks_per_day=16,
             overload_population=12, overload_ticks=16,
+            federate_population=16, federate_ticks=24,
         ),
     )
 }
@@ -488,6 +493,53 @@ def run_scale_overload(scale: ScalePreset) -> BenchmarkEntry:
     )
 
 
+# ----------------------------------------------------------------------
+# SCALE-6: sharded campus federation (roaming + crash + DSAR fan-out)
+# ----------------------------------------------------------------------
+def run_scale_federate(scale: ScalePreset) -> BenchmarkEntry:
+    from repro.simulation.federate import run_federate_scenario
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    report = run_federate_scenario(
+        plan_name="campus-storm",
+        seed=17,
+        population=scale.federate_population,
+        ticks=scale.federate_ticks,
+        metrics=registry,
+    )
+    elapsed = time.perf_counter() - start
+    if not report.ok:
+        raise BenchError(
+            "federate workload violated its invariants: %s"
+            % "; ".join(report.violations)
+        )
+
+    checked = max(report.ledger_checked, 1)
+    admitted = max(report.ledger_admitted, 1)
+    return BenchmarkEntry(
+        name="scale_federate",
+        decision_latency=_latency_summary(
+            registry.merged_histogram("enforcement_decide_seconds"),
+            "scale_federate",
+        ),
+        ingest_throughput_per_s=_throughput(report.ledger_checked, elapsed),
+        shed_rate=round(report.ledger_shed / checked, 6),
+        brownout_rate=round(report.ledger_brownouts / admitted, 6),
+        wal_bytes=int(registry.total("storage_wal_bytes_total")),
+        extra={
+            "buildings": float(len(report.buildings)),
+            "population": float(report.population),
+            "handoffs": float(report.handoffs),
+            "reentries": float(report.reentries),
+            "preferences_repushed": float(report.preferences_repushed),
+            "roaming_marked_responses": float(report.roaming_marked_responses),
+            "dsar_erased": float(report.dsar_erased),
+            "recovered": 1.0 if report.recovered else 0.0,
+        },
+    )
+
+
 #: Workload registry, in SCALE order; ``runner.run_suite`` walks this.
 WORKLOADS: Tuple[Tuple[str, Callable[[ScalePreset], BenchmarkEntry]], ...] = (
     ("scale_enforcement", run_scale_enforcement),
@@ -495,4 +547,5 @@ WORKLOADS: Tuple[Tuple[str, Callable[[ScalePreset], BenchmarkEntry]], ...] = (
     ("scale_notifications", run_scale_notifications),
     ("scale_week", run_scale_week),
     ("scale_overload", run_scale_overload),
+    ("scale_federate", run_scale_federate),
 )

@@ -80,6 +80,10 @@ class SimulatedCrash(ReproError):
     """
 
 
+class FederationError(ReproError):
+    """A federation router or campus shard set is misconfigured."""
+
+
 class AnalysisError(ReproError):
     """Static-analysis misuse (unknown rule ids, unreadable paths)."""
 

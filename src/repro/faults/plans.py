@@ -142,7 +142,41 @@ def _rush_hour(seed: int) -> FaultPlan:
     )
 
 
+def _campus_storm(seed: int) -> FaultPlan:
+    """A bad day for the campus: rush-hour load plus a shard crash.
+
+    Overload bursts stress the shared admission layer (DEFERRABLE
+    discovery sheds, CRITICAL policy fetches must all land), a
+    mid-append crash takes one building's WAL-backed shard down hard,
+    and a stalled access point exercises the quarantine path in a
+    building that roamers are visiting.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(
+                kind=FaultKind.OVERLOAD_BURST,
+                start=10,
+                stop=3000,
+                every=2,
+                magnitude=3,
+            ),
+            FaultSpec(
+                kind=FaultKind.OVERLOAD_BURST,
+                start=200,
+                stop=2400,
+                rate=0.6,
+                magnitude=4,
+            ),
+            FaultSpec(kind=FaultKind.CRASH_MID_APPEND, start=260),
+            FaultSpec(kind=FaultKind.SENSOR_STALL, target="ap-01", stop=300),
+        ],
+        seed=seed,
+        name="campus-storm",
+    )
+
+
 _BUILDERS: Dict[str, Callable[[int], FaultPlan]] = {
+    "campus-storm": _campus_storm,
     "lossy": _lossy,
     "flaky-registry": _flaky_registry,
     "datastore-brownout": _datastore_brownout,

@@ -1,0 +1,41 @@
+"""Multi-building federation: a campus of sharded TIPPERS instances.
+
+The paper's core loop (Fig. 1) is discovery as inhabitants *move
+between* IRR-advertised spaces.  This package scales that loop out to a
+campus: each building runs its own independently-WAL'd TIPPERS shard
+and IoT Resource Registry, a :class:`~repro.federation.router.
+FederationRouter` consistent-hashes principals to a home shard and
+routes every cross-shard call through the existing admission layer, and
+campus-wide DSAR requests fan out to every shard that ever observed the
+subject (:mod:`repro.federation.dsar`).
+
+See ``docs/FEDERATION.md`` for the shard layout, the hashing scheme,
+the IoTA roaming-handoff protocol, and the DSAR fan-out invariants.
+"""
+
+from repro.federation.campus import Campus, CampusShard
+from repro.federation.dsar import (
+    CampusAccessReport,
+    CampusErasureReceipt,
+    campus_access_report,
+    campus_erase_subject,
+)
+from repro.federation.ring import HashRing
+from repro.federation.router import (
+    REGISTRY_ENDPOINT_PREFIX,
+    SHARD_ENDPOINT_PREFIX,
+    FederationRouter,
+)
+
+__all__ = [
+    "Campus",
+    "CampusShard",
+    "CampusAccessReport",
+    "CampusErasureReceipt",
+    "FederationRouter",
+    "HashRing",
+    "REGISTRY_ENDPOINT_PREFIX",
+    "SHARD_ENDPOINT_PREFIX",
+    "campus_access_report",
+    "campus_erase_subject",
+]

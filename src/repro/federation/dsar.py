@@ -1,0 +1,169 @@
+"""Campus-wide DSAR handling: fan-out, deterministic merge, compaction.
+
+A data-subject request at campus scale cannot stop at the subject's
+home shard: a roaming inhabitant leaves observations, audit records,
+and re-pushed preferences in every building they visited.  The fan-out
+set is the campus presence ledger plus the home shard (preferences live
+there even for subjects never captured), each shard is reached through
+the admission-controlled bus (``dsar_report``/``dsar_erase`` are
+CRITICAL: they are never shed), and the merged report is deterministic
+-- shards are visited in sorted order and carry only counts.
+
+Erasure is WAL-durable per shard: with ``compact_storage=True`` each
+shard logs the erase record, then compacts, so the subject's
+observations are *physically* absent from the compacted generation,
+not merely masked (see ``docs/STORAGE.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import NetworkError
+from repro.federation.campus import Campus
+
+
+@dataclass
+class CampusAccessReport:
+    """A merged subject-access report across every observing shard."""
+
+    user_id: str
+    home_building: str
+    buildings: Tuple[str, ...] = ()
+    observations_total: int = 0
+    decisions_total: int = 0
+    per_building: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    unreachable: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "home_building": self.home_building,
+            "buildings": list(self.buildings),
+            "observations_total": self.observations_total,
+            "decisions_total": self.decisions_total,
+            "per_building": {
+                building: dict(counts)
+                for building, counts in sorted(self.per_building.items())
+            },
+            "unreachable": list(self.unreachable),
+        }
+
+
+@dataclass
+class CampusErasureReceipt:
+    """One campus-wide right-to-be-forgotten execution."""
+
+    user_id: str
+    home_building: str
+    buildings: Tuple[str, ...] = ()
+    erased_observations: int = 0
+    withdrawn_preferences: int = 0
+    compacted_buildings: Tuple[str, ...] = ()
+    per_building: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    unreachable: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "user_id": self.user_id,
+            "home_building": self.home_building,
+            "buildings": list(self.buildings),
+            "erased_observations": self.erased_observations,
+            "withdrawn_preferences": self.withdrawn_preferences,
+            "compacted_buildings": list(self.compacted_buildings),
+            "per_building": {
+                building: dict(counts)
+                for building, counts in sorted(self.per_building.items())
+            },
+            "unreachable": list(self.unreachable),
+        }
+
+
+def _fanout_set(campus: Campus, user_id: str) -> Tuple[str, Tuple[str, ...]]:
+    home = campus.router.home_building(user_id)
+    observed = set(campus.buildings_observing(user_id))
+    observed.add(home)
+    return home, tuple(sorted(observed))
+
+
+def campus_access_report(
+    campus: Campus, user_id: str, now: float
+) -> CampusAccessReport:
+    """Fan a subject-access request out to every observing shard."""
+    home, buildings = _fanout_set(campus, user_id)
+    report = CampusAccessReport(
+        user_id=user_id, home_building=home, buildings=buildings
+    )
+    unreachable: List[str] = []
+    for building_id in buildings:
+        try:
+            response = campus.router.call_building(
+                building_id,
+                "dsar_report",
+                {"user_id": user_id, "now": now},
+                principal="dsar-%s" % user_id,
+            )
+        except NetworkError:
+            unreachable.append(building_id)
+            continue
+        counts = {
+            "observations": int(response["observations_total"]),
+            "decisions": int(response["decisions_total"]),
+        }
+        report.per_building[building_id] = counts
+        report.observations_total += counts["observations"]
+        report.decisions_total += counts["decisions"]
+    report.unreachable = tuple(unreachable)
+    return report
+
+
+def campus_erase_subject(
+    campus: Campus,
+    user_id: str,
+    now: float,
+    withdraw_preferences: bool = False,
+    compact_storage: bool = True,
+) -> CampusErasureReceipt:
+    """Erase a subject from every shard that ever observed them.
+
+    Each shard's erasure is locally WAL-durable before the next shard
+    is contacted, so a crash mid-fan-out leaves a prefix of shards
+    fully erased rather than all shards half-erased; re-running the
+    fan-out is idempotent (erasing an already-erased subject deletes
+    zero observations).
+    """
+    home, buildings = _fanout_set(campus, user_id)
+    receipt = CampusErasureReceipt(
+        user_id=user_id, home_building=home, buildings=buildings
+    )
+    compacted: List[str] = []
+    unreachable: List[str] = []
+    for building_id in buildings:
+        try:
+            response = campus.router.call_building(
+                building_id,
+                "dsar_erase",
+                {
+                    "user_id": user_id,
+                    "now": now,
+                    "withdraw_preferences": withdraw_preferences,
+                    "compact_storage": compact_storage,
+                },
+                principal="dsar-%s" % user_id,
+            )
+        except NetworkError:
+            unreachable.append(building_id)
+            continue
+        counts = {
+            "erased_observations": int(response["erased_observations"]),
+            "withdrawn_preferences": int(response["withdrawn_preferences"]),
+        }
+        receipt.per_building[building_id] = counts
+        receipt.erased_observations += counts["erased_observations"]
+        receipt.withdrawn_preferences += counts["withdrawn_preferences"]
+        if response.get("storage_compacted"):
+            compacted.append(building_id)
+    receipt.compacted_buildings = tuple(compacted)
+    receipt.unreachable = tuple(unreachable)
+    return receipt

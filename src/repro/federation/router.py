@@ -1,0 +1,141 @@
+"""The federation router: one bus, many buildings, deterministic homes.
+
+Every building's TIPPERS shard and IoT Resource Registry register on
+the shared campus :class:`~repro.net.bus.MessageBus` under prefixed
+endpoint names (``tippers-<building>``, ``irr-<building>``).  The
+router owns the :class:`~repro.federation.ring.HashRing` that maps a
+principal to their *home building* and addresses every cross-shard call
+through the bus -- which means federation traffic flows through the
+same admission control, circuit breakers, retry policies, and deadline
+budgets as single-building traffic.  There is no privileged side
+channel between shards: a DSAR fan-out competes for admission like any
+other CRITICAL call, and a roaming IoTA's re-push can be shed exactly
+like a local one (it cannot: preference submission is CRITICAL).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.errors import FederationError
+from repro.federation.ring import DEFAULT_VNODES, HashRing
+from repro.net.bus import MessageBus
+from repro.net.resilience import Deadline, RetryPolicy
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Endpoint-name prefixes for per-building shards.  These are the
+#: campus bus's naming contract: the TIPPERS shard of building
+#: ``bldg-a`` answers on ``tippers-bldg-a`` and its registry on
+#: ``irr-bldg-a``.  The privacy-flow analyzer resolves calls through
+#: these prefixes, so keep them as module-level constants.
+SHARD_ENDPOINT_PREFIX = "tippers-"
+REGISTRY_ENDPOINT_PREFIX = "irr-"
+
+#: Simulated-time budget for one routed call.  Generous on purpose --
+#: it bounds retries (lint rule C007), it does not shape traffic.
+ROUTER_CALL_DEADLINE_S = 30.0
+
+
+class FederationRouter:
+    """Routes principals and calls to their owning building shard."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        building_ids: Sequence[str],
+        vnodes: int = DEFAULT_VNODES,
+        metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        call_deadline_s: float = ROUTER_CALL_DEADLINE_S,
+    ) -> None:
+        if not building_ids:
+            raise FederationError("a federation needs at least one building")
+        self._bus = bus
+        self._ring = HashRing(building_ids, vnodes=vnodes)
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.retry_policy = retry_policy
+        self.call_deadline_s = call_deadline_s
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def building_ids(self) -> Tuple[str, ...]:
+        """Every federated building, sorted."""
+        return self._ring.nodes()
+
+    def home_building(self, principal_id: str) -> str:
+        """The building whose shard is ``principal_id``'s home."""
+        return self._ring.node_for(principal_id)
+
+    def shard_endpoint(self, building_id: str) -> str:
+        """The bus endpoint of ``building_id``'s TIPPERS shard."""
+        self._require(building_id)
+        return SHARD_ENDPOINT_PREFIX + building_id
+
+    def registry_endpoint(self, building_id: str) -> str:
+        """The bus endpoint of ``building_id``'s IoT Resource Registry."""
+        self._require(building_id)
+        return REGISTRY_ENDPOINT_PREFIX + building_id
+
+    def _require(self, building_id: str) -> None:
+        if building_id not in self._ring:
+            raise FederationError(
+                "building %r is not part of this federation (have: %s)"
+                % (building_id, ", ".join(self._ring.nodes()))
+            )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def call_building(
+        self,
+        building_id: str,
+        method: str,
+        payload: Dict[str, Any],
+        principal: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One admission-checked bus call to a specific building's shard.
+
+        Raises whatever the bus raises -- admission sheds, open
+        breakers, RPC failures -- so callers keep the same error
+        taxonomy they have for single-building calls.
+        """
+        self._require(building_id)
+        self.metrics.counter(
+            "federation_routed_calls_total", {"building": building_id}
+        ).inc()
+        if self.retry_policy is not None:
+            return self._bus.call(
+                SHARD_ENDPOINT_PREFIX + building_id,
+                method,
+                payload,
+                retry_policy=self.retry_policy,
+                deadline=Deadline(self.call_deadline_s),
+                principal=principal,
+            )
+        return self._bus.call(
+            SHARD_ENDPOINT_PREFIX + building_id,
+            method,
+            payload,
+            deadline=Deadline(self.call_deadline_s),
+            principal=principal,
+        )
+
+    def call_home(
+        self,
+        principal_id: str,
+        method: str,
+        payload: Dict[str, Any],
+        principal: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Route a call to ``principal_id``'s home shard."""
+        return self.call_building(
+            self.home_building(principal_id),
+            method,
+            payload,
+            principal=principal if principal is not None else principal_id,
+        )

@@ -9,8 +9,9 @@ any conflicts the building detected.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.language.document import (
     ResourceDescription,
@@ -120,6 +121,20 @@ def practices_from_service(document: ServicePolicyDocument) -> List[DataPractice
 
 
 @dataclass
+class RoamResult:
+    """What one roaming handoff accomplished."""
+
+    tippers_endpoint: str
+    registry_endpoint: str
+    home_building_id: str
+    re_entry: bool
+    newly_added: bool
+    preferences_pushed: int
+    preferences_pending: int
+    notifications: int
+
+
+@dataclass
 class DiscoveryResult:
     """What one discovery sweep found."""
 
@@ -161,6 +176,14 @@ class IoTAssistant:
         self.registry_endpoints = list(registry_endpoints or [])
         self.reported_conflicts: List[str] = []
         self.last_discovery: Optional[DiscoveryResult] = None
+        #: Every preference this assistant ever got accepted, in
+        #: submission order -- the working set a roaming handoff
+        #: re-pushes to a visited building's shard.
+        self._submitted_preferences: List[Tuple[str, UserPreference]] = []
+        #: endpoint -> canonical keys of preferences that endpoint has
+        #: acknowledged; lets a handoff resume after a partial re-push.
+        self._pushed_keys: Dict[str, Set[str]] = {}
+        self._visited_endpoints: Set[str] = set()
 
     def _call(self, target: str, method: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         """One bus call under the assistant's resilience settings.
@@ -316,18 +339,99 @@ class IoTAssistant:
             self.reported_conflicts.append(conflict)
         return selection
 
+    @staticmethod
+    def _preference_key(preference: UserPreference) -> str:
+        return json.dumps(
+            preference_to_dict(preference), sort_keys=True, separators=(",", ":")
+        )
+
     def submit_preference(self, preference: UserPreference) -> List[str]:
-        """Send an explicit preference to the building (step 8)."""
+        """Send an explicit preference to the building (step 8).
+
+        Accepted preferences are recorded locally: the assistant is the
+        durable carrier of its user's privacy posture, so a roaming
+        handoff (:meth:`roam_to`) can re-push the full set to whichever
+        building the user walks into.
+        """
         response = self._call(
             self.tippers_endpoint,
             "submit_preference",
             {"preference": preference_to_dict(preference)},
         )
+        key = self._preference_key(preference)
+        if all(key != existing for existing, _ in self._submitted_preferences):
+            self._submitted_preferences.append((key, preference))
+        self._pushed_keys.setdefault(self.tippers_endpoint, set()).add(key)
         conflicts = list(response.get("conflicts", []))
         self.metrics.counter("iota_preference_submissions_total").inc()
         self.metrics.counter("iota_conflicts_total").inc(len(conflicts))
         self.reported_conflicts.extend(conflicts)
         return conflicts
+
+    # ------------------------------------------------------------------
+    # Roaming handoff (federation)
+    # ------------------------------------------------------------------
+    def roam_to(
+        self,
+        tippers_endpoint: str,
+        registry_endpoint: str,
+        profile_payload: Dict[str, Any],
+        home_building_id: str,
+        space_id: str,
+        now: float,
+    ) -> RoamResult:
+        """Hand this assistant off to another building's shard.
+
+        The Figure-1 loop, re-run at a building boundary: retarget the
+        assistant's endpoints, re-discover the visited building's IRR
+        (DEFERRABLE -- a shed sweep is tolerated, notifications arrive
+        late), register the user as a roaming principal (CRITICAL --
+        never shed; raises on failure so the caller sees a failed
+        handoff), then re-push every recorded preference the visited
+        shard has not yet acknowledged.  A re-push that fails mid-list
+        leaves its progress recorded, so re-entering the same building
+        resumes where the last handoff stopped instead of starting
+        over.  ``home_building_id`` equal to the visited building marks
+        a return home and clears the shard's roaming state.
+        """
+        re_entry = tippers_endpoint in self._visited_endpoints
+        self.tippers_endpoint = tippers_endpoint
+        self.registry_endpoints = [registry_endpoint]
+        discovery = self.discover(space_id, now)
+        response = self._call(
+            tippers_endpoint,
+            "register_roaming",
+            {
+                "profile": profile_payload,
+                "home_building_id": home_building_id,
+            },
+        )
+        self._visited_endpoints.add(tippers_endpoint)
+        pushed_keys = self._pushed_keys.setdefault(tippers_endpoint, set())
+        pushed = 0
+        pending = 0
+        for key, preference in list(self._submitted_preferences):
+            if key in pushed_keys:
+                continue
+            try:
+                self.submit_preference(preference)
+            except (RpcError, NetworkError):
+                pending += 1
+                continue
+            pushed += 1
+        self.metrics.counter("iota_roaming_handoffs_total").inc()
+        if re_entry:
+            self.metrics.counter("iota_roaming_reentries_total").inc()
+        return RoamResult(
+            tippers_endpoint=tippers_endpoint,
+            registry_endpoint=registry_endpoint,
+            home_building_id=home_building_id,
+            re_entry=re_entry,
+            newly_added=bool(response.get("added", False)),
+            preferences_pushed=pushed,
+            preferences_pending=pending,
+            notifications=len(discovery.notifications),
+        )
 
     def fetch_effect_preview(self, now: float, space_id: Optional[str] = None) -> List[str]:
         """What the building will actually do with this user's data.

@@ -70,6 +70,7 @@ DEFAULT_METHOD_PRIORITIES: Dict[str, Priority] = {
     "preview_effects": Priority.CRITICAL,
     "dsar_report": Priority.CRITICAL,
     "dsar_erase": Priority.CRITICAL,
+    "register_roaming": Priority.CRITICAL,
     # NORMAL: service queries and capture-shaped traffic.
     "locate_user": Priority.NORMAL,
     "room_occupancy": Priority.NORMAL,

@@ -193,6 +193,17 @@ class CircuitBreaker:
             self.rejections_while_open = 0
             self.times_opened += 1
 
+    def reset(self) -> None:
+        """Administratively close the breaker (the service was restored).
+
+        Used when an operator *knows* the endpoint is back -- e.g. a
+        crashed shard re-registered after WAL recovery -- rather than
+        waiting out the rejection-counted cooldown.
+        """
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.rejections_while_open = 0
+
 
 class BreakerBoard:
     """Lazily-created circuit breakers, one per bus target."""
@@ -222,6 +233,10 @@ class BreakerBoard:
 
     def record_failure(self, target: str) -> None:
         self.breaker(target).record_failure()
+
+    def reset(self, target: str) -> None:
+        """Administratively close ``target``'s breaker (service restored)."""
+        self.breaker(target).reset()
 
     def states(self) -> Dict[str, str]:
         return {target: b.state for target, b in sorted(self._breakers.items())}

@@ -1,0 +1,810 @@
+"""The federation scenario: a sharded campus under storm conditions.
+
+A campus of independently-WAL'd TIPPERS shards (one per building, see
+:mod:`repro.federation`) runs capture ticks and a mixed-priority bus
+workload while inhabitants roam between buildings and the
+``campus-storm`` fault plan injects overload bursts, a stalled access
+point, and a mid-append crash that takes one shard down hard:
+
+- **Roaming**: every boundary crossing the world emits triggers an IoTA
+  handoff -- the assistant re-discovers the visited building's IRR,
+  registers its user as a roaming principal (CRITICAL; never shed), and
+  re-pushes the preferences the visited shard has not yet acknowledged.
+  Every enforcement decision a visited shard makes about a roamer must
+  carry a ``roaming:<home>`` marker in both the response and the audit
+  record.
+- **Crash + recovery**: the crashed shard goes dark (routed calls fail,
+  nothing queues), then recovers from its own WAL -- the user directory
+  re-seeded from campus metadata, observations/audit/preferences
+  replayed -- and rejoins the bus; roamers present in the building are
+  handed off again.
+- **Campus DSAR**: mid-run, one well-travelled subject exercises the
+  cross-shard data-subject pipeline -- an access report fanned out to
+  every building that ever observed them, then an erasure with
+  per-shard WAL-durable compaction.  At scenario end every shard's
+  directory is re-opened with the *standalone* recovery reader and
+  swept: no observation of the erased subject from before the erasure
+  may exist anywhere on the campus.
+
+The report carries only counts and booleans, so two runs with the same
+seed render byte-identical text (the ``federate`` CLI and CI diff
+them), and :attr:`FederateReport.violations` machine-checks the
+acceptance invariants.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.core.policy import catalog
+from repro.errors import (
+    AdmissionShedError,
+    NetworkError,
+    SimulatedCrash,
+)
+from repro.faults import FaultInjector, build_plan
+from repro.federation import Campus, campus_access_report, campus_erase_subject
+from repro.net.admission import AdmissionController, Priority
+from repro.net.bus import RpcError
+from repro.net.resilience import Deadline, RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.simulation.inhabitants import Inhabitant, generate_inhabitants
+from repro.simulation.mobility import BuildingWorld, CampusWorld
+from repro.simulation.overload import ClassOutcome
+from repro.storage.recovery import RecoveryReport, recover
+from repro.users.profile import profile_to_dict
+
+DEFAULT_BUILDINGS = ("bldg-a", "bldg-b", "bldg-c", "bldg-d")
+
+#: The marker prefix every visited-shard decision about a roamer
+#: carries (see RequestManager._roaming_notes).
+ROAMING_MARKER_PREFIX = "roaming:"
+
+
+@dataclass
+class FederateReport:
+    """Everything one campus run produced, rendered deterministically."""
+
+    plan: str
+    seed: int
+    population: int
+    ticks: int
+    buildings: List[str] = field(default_factory=list)
+    residents_by_building: Dict[str, int] = field(default_factory=dict)
+    roamers: int = 0
+    # Roaming handoffs
+    handoffs: int = 0
+    returns: int = 0
+    reentries: int = 0
+    handoff_failures: int = 0
+    preferences_repushed: int = 0
+    preferences_pending: int = 0
+    # Workload classes (shared admission layer)
+    critical: ClassOutcome = field(default_factory=ClassOutcome)
+    normal: ClassOutcome = field(default_factory=ClassOutcome)
+    deferrable: ClassOutcome = field(default_factory=ClassOutcome)
+    critical_dark: int = 0
+    # Roaming markers
+    visited_shard_responses: int = 0
+    roaming_marked_responses: int = 0
+    roaming_marked_audit: int = 0
+    # Crash + recovery
+    crashed: bool = False
+    crash_building: str = ""
+    crash_step: int = -1
+    crash_tick: int = -1
+    recovered: bool = False
+    recovery: Optional[RecoveryReport] = None
+    rehandoffs: int = 0
+    # Campus DSAR
+    dsar_subject: str = ""
+    dsar_buildings: List[str] = field(default_factory=list)
+    dsar_observations: int = 0
+    dsar_decisions: int = 0
+    dsar_erased: int = 0
+    dsar_withdrawn: int = 0
+    dsar_compacted: List[str] = field(default_factory=list)
+    dsar_unreachable: List[str] = field(default_factory=list)
+    # End-of-run physical sweep (standalone recovery reader)
+    swept_shards: int = 0
+    resurrected: int = 0
+    # Shared-plane accounting
+    ledger_checked: int = 0
+    ledger_admitted: int = 0
+    ledger_shed: int = 0
+    ledger_shed_by_class: Dict[str, int] = field(default_factory=dict)
+    ledger_brownouts: int = 0
+    quarantine_events: int = 0
+    quarantine_readmissions: int = 0
+    stored_by_building: Dict[str, int] = field(default_factory=dict)
+    bus_attempts: int = 0
+    bus_logical_calls: int = 0
+    bus_retries: int = 0
+    bus_shed: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "population": self.population,
+            "ticks": self.ticks,
+            "buildings": list(self.buildings),
+            "residents_by_building": dict(self.residents_by_building),
+            "roamers": self.roamers,
+            "roaming": {
+                "handoffs": self.handoffs,
+                "returns": self.returns,
+                "reentries": self.reentries,
+                "failures": self.handoff_failures,
+                "preferences_repushed": self.preferences_repushed,
+                "preferences_pending": self.preferences_pending,
+                "visited_shard_responses": self.visited_shard_responses,
+                "marked_responses": self.roaming_marked_responses,
+                "marked_audit_records": self.roaming_marked_audit,
+            },
+            "classes": {
+                "critical": self.critical.to_dict(),
+                "normal": self.normal.to_dict(),
+                "deferrable": self.deferrable.to_dict(),
+            },
+            "critical_dark": self.critical_dark,
+            "crash": {
+                "crashed": self.crashed,
+                "building": self.crash_building,
+                "step": self.crash_step,
+                "tick": self.crash_tick,
+                "recovered": self.recovered,
+                "recovery": None
+                if self.recovery is None
+                else self.recovery.to_dict(),
+                "rehandoffs": self.rehandoffs,
+            },
+            "dsar": {
+                "subject": self.dsar_subject,
+                "buildings": list(self.dsar_buildings),
+                "observations": self.dsar_observations,
+                "decisions": self.dsar_decisions,
+                "erased": self.dsar_erased,
+                "withdrawn": self.dsar_withdrawn,
+                "compacted": list(self.dsar_compacted),
+                "unreachable": list(self.dsar_unreachable),
+            },
+            "sweep": {
+                "shards": self.swept_shards,
+                "resurrected": self.resurrected,
+            },
+            "ledger": {
+                "checked": self.ledger_checked,
+                "admitted": self.ledger_admitted,
+                "shed": self.ledger_shed,
+                "shed_by_class": dict(self.ledger_shed_by_class),
+                "brownouts": self.ledger_brownouts,
+            },
+            "quarantine": {
+                "events": self.quarantine_events,
+                "readmissions": self.quarantine_readmissions,
+            },
+            "stored_by_building": dict(self.stored_by_building),
+            "bus": {
+                "attempts": self.bus_attempts,
+                "logical_calls": self.bus_logical_calls,
+                "retries": self.bus_retries,
+                "shed": self.bus_shed,
+            },
+            "fault_counts": dict(self.fault_counts),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            "federate run: plan=%s seed=%d population=%d ticks=%d buildings=%d"
+            % (self.plan, self.seed, self.population, self.ticks,
+               len(self.buildings)),
+            "residents: "
+            + ", ".join(
+                "%s=%d" % (b, n)
+                for b, n in sorted(self.residents_by_building.items())
+            ),
+            "roaming: roamers=%d handoffs=%d returns=%d reentries=%d "
+            "failures=%d" % (self.roamers, self.handoffs, self.returns,
+                             self.reentries, self.handoff_failures),
+            "preferences: repushed=%d pending=%d"
+            % (self.preferences_repushed, self.preferences_pending),
+            "markers: visited_responses=%d marked_responses=%d marked_audit=%d"
+            % (self.visited_shard_responses, self.roaming_marked_responses,
+               self.roaming_marked_audit),
+            "critical:   attempted=%d completed=%d shed=%d failed=%d dark=%d"
+            % (self.critical.attempted, self.critical.completed,
+               self.critical.shed, self.critical.failed, self.critical_dark),
+            "normal:     attempted=%d completed=%d shed=%d failed=%d"
+            % (self.normal.attempted, self.normal.completed,
+               self.normal.shed, self.normal.failed),
+            "deferrable: attempted=%d completed=%d shed=%d failed=%d "
+            "(shed_rate=%.3f)"
+            % (self.deferrable.attempted, self.deferrable.completed,
+               self.deferrable.shed, self.deferrable.failed,
+               self.deferrable.shed_rate),
+            "crash: crashed=%s building=%s tick=%d recovered=%s rehandoffs=%d"
+            % (self.crashed, self.crash_building or "none", self.crash_tick,
+               self.recovered, self.rehandoffs),
+        ]
+        if self.recovery is not None:
+            lines.extend(self.recovery.lines())
+        lines.extend([
+            "dsar: subject=%s buildings=[%s] observations=%d decisions=%d"
+            % (self.dsar_subject or "none", ", ".join(self.dsar_buildings),
+               self.dsar_observations, self.dsar_decisions),
+            "dsar erase: erased=%d withdrawn=%d compacted=[%s] unreachable=[%s]"
+            % (self.dsar_erased, self.dsar_withdrawn,
+               ", ".join(self.dsar_compacted),
+               ", ".join(self.dsar_unreachable)),
+            "sweep: shards=%d resurrected=%d"
+            % (self.swept_shards, self.resurrected),
+            "admission ledger: checked=%d admitted=%d shed=%d brownouts=%d"
+            % (self.ledger_checked, self.ledger_admitted, self.ledger_shed,
+               self.ledger_brownouts),
+            "quarantine: events=%d readmissions=%d"
+            % (self.quarantine_events, self.quarantine_readmissions),
+            "stored: "
+            + ", ".join(
+                "%s=%d" % (b, n)
+                for b, n in sorted(self.stored_by_building.items())
+            ),
+            "bus: attempts=%d logical=%d retries=%d shed=%d"
+            % (self.bus_attempts, self.bus_logical_calls, self.bus_retries,
+               self.bus_shed),
+        ])
+        fired = ", ".join(
+            "%s=%d" % (kind, count)
+            for kind, count in sorted(self.fault_counts.items())
+        )
+        lines.append("faults fired: %s" % (fired or "none"))
+        for violation in self.violations:
+            lines.append("VIOLATION: %s" % violation)
+        lines.append("result: %s" % ("OK" if self.ok else "FAILED"))
+        return lines
+
+    @property
+    def report_text(self) -> str:
+        return "".join(line + "\n" for line in self.summary_lines())
+
+
+class _Run:
+    """Mutable state one federate run threads through its helpers."""
+
+    def __init__(self, campus: Campus, report: FederateReport,
+                 retry_policy: RetryPolicy, injector: FaultInjector) -> None:
+        self.campus = campus
+        self.report = report
+        self.retry_policy = retry_policy
+        self.injector = injector
+        self.current_tick = -1
+        self.erase_now = -1.0
+        self.pref_submitters: Set[str] = set()
+
+    def call(
+        self,
+        outcome: ClassOutcome,
+        building_id: str,
+        method: str,
+        payload: Dict[str, Any],
+        principal: str,
+        registry: bool = False,
+    ) -> Optional[Dict[str, Any]]:
+        """One accounted workload call routed to ``building_id``.
+
+        Returns None when the call was shed, failed, or took the target
+        shard down (a crash mid-call marks the shard dark and counts as
+        a failure -- the caller got no answer).
+        """
+        shard = self.campus.shard(building_id)
+        target = shard.registry_endpoint if registry else shard.endpoint
+        dark = shard.down
+        outcome.attempted += 1
+        try:
+            response = self.campus.bus.call(
+                target,
+                method,
+                payload,
+                retry_policy=self.retry_policy,
+                deadline=Deadline(10.0),
+                principal=principal,
+            )
+        except AdmissionShedError:
+            outcome.shed += 1
+            return None
+        except NetworkError:
+            outcome.failed += 1
+            if dark and outcome is self.report.critical:
+                self.report.critical_dark += 1
+            return None
+        except SimulatedCrash:
+            self._record_crash(building_id)
+            outcome.failed += 1
+            if outcome is self.report.critical:
+                # The crash call itself opens the dark window.
+                self.report.critical_dark += 1
+            return None
+        outcome.completed += 1
+        return response
+
+    def _record_crash(self, building_id: str) -> None:
+        if not self.report.crashed:
+            self.report.crashed = True
+            self.report.crash_building = building_id
+            self.report.crash_tick = self.current_tick
+            self.report.crash_step = self.injector.step - 1
+        self.campus.mark_down(building_id)
+
+
+def _partition_population(
+    campus: Campus, population: int, seed: int
+) -> Dict[str, List[Inhabitant]]:
+    """Ring-partition a campus-global population into shard residents."""
+    user_ids = ["campus-user-%04d" % index for index in range(1, population + 1)]
+    by_building: Dict[str, List[str]] = {b: [] for b in campus.building_ids()}
+    for user_id in user_ids:
+        by_building[campus.router.home_building(user_id)].append(user_id)
+    residents: Dict[str, List[Inhabitant]] = {}
+    for building_id in sorted(by_building):
+        ids = by_building[building_id]
+        shard = campus.shard(building_id)
+        residents[building_id] = generate_inhabitants(
+            shard.spatial,
+            len(ids),
+            seed=seed,
+            building_id=building_id,
+            user_ids=ids,
+        )
+        for inhabitant in residents[building_id]:
+            campus.add_resident(building_id, inhabitant.profile)
+    return residents
+
+
+def run_federate_scenario(
+    plan_name: str = "campus-storm",
+    seed: int = 17,
+    population: int = 12,
+    ticks: int = 16,
+    buildings: Sequence[str] = DEFAULT_BUILDINGS,
+    directory: Optional[str] = None,
+    segment_bytes: int = 8 * 1024,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FederateReport:
+    """Run the sharded-campus scenario under ``plan_name`` and report.
+
+    When ``directory`` is omitted a temporary storage root is created
+    and removed afterwards; pass one to keep each shard's WAL directory
+    for inspection.  ``metrics`` (optional) receives the run's
+    instrumentation -- the bench harness reads decision latency and WAL
+    bytes from it.
+    """
+    report = FederateReport(
+        plan=plan_name,
+        seed=seed,
+        population=population,
+        ticks=ticks,
+        buildings=sorted(buildings),
+    )
+    owns_directory = directory is None
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="repro-federate-")
+    try:
+        _run(report, plan_name, seed, population, ticks, sorted(buildings),
+             directory, segment_bytes, metrics)
+    finally:
+        if owns_directory:
+            shutil.rmtree(directory, ignore_errors=True)
+    return report
+
+
+def _run(
+    report: FederateReport,
+    plan_name: str,
+    seed: int,
+    population: int,
+    ticks: int,
+    buildings: List[str],
+    directory: str,
+    segment_bytes: int,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    from repro.iota.assistant import IoTAssistant
+
+    if metrics is None:
+        metrics = MetricsRegistry()
+    # The campus spreads traffic across 2 endpoints per building, and
+    # every queue drains one quantum per *global* admission check -- so
+    # per-queue drain must be far below the single-building template's
+    # 1.0 or no queue ever accumulates backlog.
+    controller = AdmissionController(
+        seed=seed,
+        queue_capacity=8,
+        high_watermark=0.5,
+        shed_watermark=0.8,
+        drain_per_step=0.25,
+        principal_capacity=16.0,
+        principal_refill_per_step=1.0,
+        metrics=metrics,
+    )
+    campus = Campus(
+        buildings,
+        seed=seed,
+        storage_root=directory,
+        segment_bytes=segment_bytes,
+        metrics=metrics,
+        admission=controller,
+    )
+    residents = _partition_population(campus, population, seed)
+    report.residents_by_building = {
+        b: len(people) for b, people in residents.items()
+    }
+    inhabitants: Dict[str, Inhabitant] = {
+        person.user_id: person
+        for people in residents.values()
+        for person in people
+    }
+    worlds: Dict[str, BuildingWorld] = {
+        b: BuildingWorld(campus.shard(b).spatial, residents[b], seed=seed)
+        for b in buildings
+    }
+    roamer_ids = sorted(
+        user_id
+        for user_id, person in inhabitants.items()
+        if person.profile.has_iota
+    )
+    report.roamers = len(roamer_ids)
+    world = CampusWorld(
+        worlds,
+        home_of=dict(campus.home_of),
+        inhabitants=inhabitants,
+        roamers=roamer_ids,
+        seed=seed,
+    )
+
+    retry_policy = RetryPolicy(seed=seed)
+    assistants: Dict[str, IoTAssistant] = {}
+    for user_id in roamer_ids:
+        home = campus.home_of[user_id]
+        shard = campus.shard(home)
+        assistants[user_id] = IoTAssistant(
+            user_id,
+            campus.bus,
+            tippers_endpoint=shard.endpoint,
+            registry_endpoints=[shard.registry_endpoint],
+            metrics=metrics,
+            retry_policy=retry_policy,
+        )
+
+    crash_building = buildings[0]
+    stall_building = buildings[1 % len(buildings)]
+    plan = build_plan(plan_name, seed)
+    injector = FaultInjector(plan)
+    injector.install_bus(campus.bus)
+    injector.install_admission(controller)
+    injector.install_storage_engine(campus.shard(crash_building).storage)
+    injector.install_sensor_manager(
+        campus.shard(stall_building).tippers.sensor_manager
+    )
+    run = _Run(campus, report, retry_policy, injector)
+    run.pref_submitters = set(roamer_ids[:3])
+
+    noon = 12 * 3600.0
+    try:
+        _run_ticks(run, world, assistants, noon, ticks)
+    finally:
+        injector.uninstall()
+        report.fault_counts = injector.trace.counts()
+        campus.close()
+    end_now = noon + ticks * 60.0
+
+    # ------------------------------------------------------------------
+    # Harvest
+    # ------------------------------------------------------------------
+    for building_id in buildings:
+        shard = campus.shard(building_id)
+        report.stored_by_building[building_id] = shard.tippers.datastore.count()
+        report.roaming_marked_audit += sum(
+            1
+            for record in shard.tippers.audit
+            if any(
+                reason.startswith(ROAMING_MARKER_PREFIX)
+                for reason in record.reasons
+            )
+        )
+    report.quarantine_events = int(metrics.total("quarantine_events_total"))
+    report.quarantine_readmissions = int(
+        metrics.total("quarantine_readmissions_total")
+    )
+    stats = campus.bus.stats
+    report.bus_attempts = stats.calls
+    report.bus_logical_calls = stats.logical_calls
+    report.bus_retries = stats.retries
+    report.bus_shed = stats.shed
+    ledger = controller.ledger
+    report.ledger_checked = ledger.checked
+    report.ledger_admitted = ledger.admitted
+    report.ledger_shed = ledger.shed
+    report.ledger_shed_by_class = dict(sorted(ledger.shed_by_class.items()))
+    report.ledger_brownouts = ledger.brownouts
+
+    # ------------------------------------------------------------------
+    # Physical-absence sweep: open every shard's directory with the
+    # standalone recovery reader and look for the erased subject.
+    # ------------------------------------------------------------------
+    if report.dsar_subject and run.erase_now >= 0:
+        for building_id in buildings:
+            shard_dir = os.path.join(directory, building_id)
+            state = recover(shard_dir, now=end_now)
+            report.swept_shards += 1
+            report.resurrected += sum(
+                1
+                for obs in state.datastore.query(subject_id=report.dsar_subject)
+                if obs.timestamp <= run.erase_now
+            )
+
+    _check_invariants(report)
+
+
+def _run_ticks(
+    run: "_Run",
+    world: CampusWorld,
+    assistants: Dict[str, Any],
+    noon: float,
+    ticks: int,
+) -> None:
+    campus = run.campus
+    report = run.report
+    buildings = list(campus.building_ids())
+    dsar_tick = max(1, (3 * ticks) // 4)
+    for tick in range(ticks):
+        run.current_tick = tick
+        now = noon + tick * 60.0
+
+        # Recover the dark shard after one full tick of darkness, then
+        # hand off every roamer still inside the building again.
+        if (report.crashed and not report.recovered
+                and tick >= report.crash_tick + 2):
+            report.recovery = campus.recover_shard(report.crash_building, now)
+            report.recovered = True
+            for user_id in sorted(assistants):
+                if world.building_of(user_id) != report.crash_building:
+                    continue
+                if campus.home_of[user_id] == report.crash_building:
+                    continue
+                if _handoff(run, assistants[user_id], user_id,
+                            report.crash_building, now) is not None:
+                    report.rehandoffs += 1
+
+        events = world.step(now)
+
+        # Pre-roam preference submissions: a few assistants record an
+        # explicit no-location preference at their home shard, so later
+        # handoffs have something to re-push.
+        if tick == 0:
+            for user_id in sorted(run.pref_submitters):
+                try:
+                    assistants[user_id].submit_preference(
+                        catalog.preference_2_no_location(user_id)
+                    )
+                except (RpcError, NetworkError):
+                    pass
+
+        # Boundary crossings -> IoTA handoffs.
+        for event in events:
+            if event.user_id not in assistants:
+                continue
+            result = _handoff(run, assistants[event.user_id], event.user_id,
+                              event.to_building, now)
+            if result is None:
+                continue
+            if event.kind == "roam":
+                report.handoffs += 1
+            else:
+                report.returns += 1
+            if result.re_entry:
+                report.reentries += 1
+            report.preferences_repushed += result.preferences_pushed
+            report.preferences_pending += result.preferences_pending
+
+        # Capture tick on every live shard; a mid-append crash takes
+        # the shard down dark.
+        for building_id in buildings:
+            shard = campus.shard(building_id)
+            if shard.down:
+                continue
+            try:
+                shard.tippers.tick(now, world.world(building_id))
+            except SimulatedCrash:
+                run._record_crash(building_id)
+
+        # The presence ledger: which live shards observed whom.
+        for user_id in sorted(campus.home_of):
+            building_id = world.building_of(user_id)
+            if campus.shard(building_id).down:
+                continue
+            if world.world(building_id).location_of(user_id) is not None:
+                campus.record_presence(user_id, building_id)
+
+        # CRITICAL: the enforcement pipeline keeps fetching policy.
+        for building_id in buildings:
+            run.call(
+                report.critical, building_id, "get_policy_document", {},
+                "svc-policy-sync",
+            )
+
+        # DEFERRABLE: discovery sweeps against each visited registry.
+        for user_id in sorted(assistants):
+            building_id = world.building_of(user_id)
+            run.call(
+                report.deferrable, building_id, "discover",
+                {"space_id": building_id},
+                "iota-%s" % user_id, registry=True,
+            )
+
+        # NORMAL: locate each inhabitant at the building they are in;
+        # a visited shard's answer must carry the roaming marker.
+        for user_id in sorted(campus.home_of):
+            building_id = world.building_of(user_id)
+            visited = building_id != campus.home_of[user_id]
+            dark = campus.shard(building_id).down
+            response = run.call(
+                report.normal, building_id, "locate_user",
+                {
+                    "requester_id": "svc-occupancy",
+                    "requester_kind": "building_service",
+                    "subject_id": user_id,
+                    "now": now,
+                },
+                "svc-occupancy",
+            )
+            if response is None or dark:
+                continue
+            if visited:
+                report.visited_shard_responses += 1
+                if any(
+                    reason.startswith(ROAMING_MARKER_PREFIX)
+                    for reason in response["reasons"]
+                ):
+                    report.roaming_marked_responses += 1
+
+        # The campus DSAR: report, then erase with per-shard compaction.
+        if tick == dsar_tick:
+            _run_dsar(run, now)
+
+
+def _handoff(run: "_Run", assistant: Any, user_id: str,
+             building_id: str, now: float) -> Optional[Any]:
+    """One IoTA handoff to ``building_id``; None when it failed."""
+    campus = run.campus
+    shard = campus.shard(building_id)
+    try:
+        return assistant.roam_to(
+            shard.endpoint,
+            shard.registry_endpoint,
+            profile_to_dict(campus.profile_of(user_id)),
+            campus.home_of[user_id],
+            building_id,
+            now,
+        )
+    except SimulatedCrash:
+        run._record_crash(building_id)
+        run.report.handoff_failures += 1
+        return None
+    except (RpcError, NetworkError):
+        run.report.handoff_failures += 1
+        return None
+
+
+def _run_dsar(run: "_Run", now: float) -> None:
+    """The campus-wide DSAR cycle for one well-travelled subject."""
+    campus = run.campus
+    report = run.report
+    # The most interesting subject: someone whose observations span at
+    # least two shards.  No-location preference holders are skipped --
+    # their capture was suppressed, so an erasure would be a no-op.
+    candidates = [
+        user_id
+        for user_id in sorted(campus.home_of)
+        if user_id not in run.pref_submitters
+    ]
+    subject = ""
+    for user_id in candidates:
+        if len(campus.buildings_observing(user_id)) >= 2:
+            subject = user_id
+            break
+    if not subject:
+        subject = candidates[0]
+    report.dsar_subject = subject
+    run.erase_now = now + 0.5
+    access = campus_access_report(campus, subject, now)
+    report.dsar_buildings = list(access.buildings)
+    report.dsar_observations = access.observations_total
+    report.dsar_decisions = access.decisions_total
+    report.dsar_unreachable = list(access.unreachable)
+    receipt = campus_erase_subject(
+        campus, subject, now + 0.5,
+        withdraw_preferences=True, compact_storage=True,
+    )
+    report.dsar_erased = receipt.erased_observations
+    report.dsar_withdrawn = receipt.withdrawn_preferences
+    report.dsar_compacted = list(receipt.compacted_buildings)
+    for building in receipt.unreachable:
+        if building not in report.dsar_unreachable:
+            report.dsar_unreachable.append(building)
+
+
+def _check_invariants(report: FederateReport) -> None:
+    """The acceptance invariants, machine-checked into ``violations``."""
+    if report.bus_attempts != report.bus_logical_calls + report.bus_retries:
+        report.violations.append(
+            "bus accounting: attempts (%d) != logical (%d) + retries (%d)"
+            % (report.bus_attempts, report.bus_logical_calls,
+               report.bus_retries)
+        )
+    critical_shed = report.ledger_shed_by_class.get(Priority.CRITICAL.value, 0)
+    if critical_shed or report.critical.shed:
+        report.violations.append(
+            "CRITICAL calls were shed (ledger=%d observed=%d)"
+            % (critical_shed, report.critical.shed)
+        )
+    if report.critical.completed != (
+        report.critical.attempted - report.critical_dark
+    ):
+        report.violations.append(
+            "CRITICAL calls failed outside the dark-shard window: "
+            "completed=%d attempted=%d dark=%d"
+            % (report.critical.completed, report.critical.attempted,
+               report.critical_dark)
+        )
+    if report.deferrable.shed == 0:
+        report.violations.append("DEFERRABLE shed rate is 0 under overload")
+    if report.handoffs == 0:
+        report.violations.append("no roaming handoffs occurred")
+    if report.visited_shard_responses == 0:
+        report.violations.append("no visited-shard decisions were served")
+    if report.roaming_marked_responses != report.visited_shard_responses:
+        report.violations.append(
+            "roaming markers: %d of %d visited-shard responses marked"
+            % (report.roaming_marked_responses, report.visited_shard_responses)
+        )
+    if report.roaming_marked_audit < report.roaming_marked_responses:
+        report.violations.append(
+            "audit trail: %d marked records for %d marked responses"
+            % (report.roaming_marked_audit, report.roaming_marked_responses)
+        )
+    if not report.crashed:
+        report.violations.append("the storm never crashed a shard")
+    if report.crashed and not report.recovered:
+        report.violations.append(
+            "shard %s never recovered" % report.crash_building
+        )
+    if len(report.dsar_buildings) < 2:
+        report.violations.append(
+            "DSAR fan-out reached %d building(s); expected >= 2"
+            % len(report.dsar_buildings)
+        )
+    if report.dsar_erased == 0:
+        report.violations.append("DSAR erasure removed no observations")
+    if report.dsar_compacted != report.dsar_buildings:
+        report.violations.append(
+            "DSAR compaction: compacted=[%s] but fan-out=[%s]"
+            % (", ".join(report.dsar_compacted),
+               ", ".join(report.dsar_buildings))
+        )
+    if report.resurrected:
+        report.violations.append(
+            "physical sweep found %d observation(s) of the erased subject"
+            % report.resurrected
+        )

@@ -86,20 +86,38 @@ def _weighted_choice(rng: random.Random, weights: Tuple[Tuple[str, float], ...])
     return weights[-1][0]
 
 
+def _building_byte(building_id: str) -> int:
+    """A stable per-building MAC byte, so campuses never collide."""
+    import hashlib
+
+    return hashlib.sha256(building_id.encode("utf-8")).digest()[0]
+
+
 def generate_inhabitants(
     spatial: SpatialModel,
     count: int,
     seed: int = 0,
     building_id: Optional[str] = None,
+    user_ids: Optional[List[str]] = None,
 ) -> List[Inhabitant]:
     """``count`` reproducible inhabitants with offices in the building.
 
     Faculty, staff, and grad students get assigned offices (distinct
     rooms, round-robin); undergrads get none.  Every inhabitant carries
     one registered device.
+
+    ``building_id`` namespaces the generated identities: user ids are
+    prefixed with the building and device MACs carry a per-building
+    byte, so a multi-building campus can generate populations per shard
+    without id or MAC collisions.  ``user_ids`` (length ``count``)
+    overrides the generated ids entirely -- a federation assigns
+    principals to home shards by hash-ring position first and generates
+    each shard's residents for exactly those ids.
     """
     if count < 0:
         raise ReproError("count must be non-negative")
+    if user_ids is not None and len(user_ids) != count:
+        raise ReproError("user_ids must have exactly count entries")
     rng = random.Random(seed)
     rooms = sorted(s.space_id for s in spatial.spaces_of_type(SpaceType.ROOM))
     if not rooms:
@@ -119,15 +137,26 @@ def generate_inhabitants(
         if role != "undergrad":
             office = rooms[office_cursor % len(rooms)]
             office_cursor += 1
-        user_id = "user-%04d" % (index + 1)
+        if user_ids is not None:
+            user_id = user_ids[index]
+        elif building_id is not None:
+            user_id = "%s-user-%04d" % (building_id, index + 1)
+        else:
+            user_id = "user-%04d" % (index + 1)
+        mac_site = 0 if building_id is None else _building_byte(building_id)
         profile = UserProfile(
             user_id=user_id,
-            name="Inhabitant %d" % (index + 1),
+            name="Inhabitant %d" % (index + 1)
+            if building_id is None
+            else "Inhabitant %d (%s)" % (index + 1, building_id),
             groups=frozenset({role}),
             department="ics",
             affiliation="uci",
             office_id=office,
-            device_macs=("02:00:00:00:%02x:%02x" % (index // 256, index % 256),),
+            device_macs=(
+                "02:00:00:%02x:%02x:%02x"
+                % (mac_site, index // 256, index % 256),
+            ),
             has_iota=rng.random() < 0.9,
         )
         inhabitants.append(

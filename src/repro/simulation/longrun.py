@@ -38,6 +38,7 @@ from repro.sensors.base import scoped_observation_ids
 from repro.services.concierge import SmartConcierge
 from repro.services.food_delivery import FoodDeliveryService
 from repro.services.meeting import SmartMeeting
+from repro.simulation.costmodel import DEFAULT_COST_TABLE, CostTable
 from repro.simulation.dbh import BUILDING_ID, make_dbh_tippers
 from repro.simulation.inhabitants import generate_inhabitants
 from repro.simulation.mobility import BuildingWorld
@@ -170,23 +171,6 @@ def run_week(
 
 #: Default population steps: each an order of magnitude past the last.
 SOAK_POPULATIONS: Tuple[int, ...] = (1000, 10000, 100000, 1000000)
-
-#: Deterministic latency model: microseconds of enforcement work per
-#: policy rule evaluated.  Calibrated against the SCALE-1 benchmark
-#: (indexed evaluation lands at single-digit us/op); recorded wall
-#: clocks live in the BENCH_<n>.json trajectory, never in soak reports.
-SOAK_US_PER_RULE = 2.0
-
-#: Microseconds of queueing delay per call of modeled backlog ahead of
-#: a request (the admission queue is a backlog model, not a buffer).
-SOAK_US_PER_QUEUED_CALL = 50.0
-
-#: Resident bytes attributed to one principal: directory profile,
-#: preference rules, IoTA selection cache, and audit index share.
-SOAK_PRINCIPAL_STATE_BYTES = 3200
-
-#: Resident bytes per stored observation (datastore row + indexes).
-SOAK_OBSERVATION_STATE_BYTES = 512
 
 _SOAK_BUILDING_ID = "bldg-soak"
 _SOAK_TIPPERS = "tippers-soak"
@@ -491,6 +475,7 @@ def run_capacity_soak(
     max_normal_shed_rate: float = 0.05,
     queue_capacity: int = 256,
     drain_per_step: float = 32.0,
+    cost_table: Optional[CostTable] = None,
 ) -> CapacitySoakReport:
     """Step the population and find the max sustainable one.
 
@@ -503,11 +488,16 @@ def run_capacity_soak(
     stays within ``max_normal_shed_rate``, and the modeled p99 latency
     and resident-state estimate stay under their ceilings.
 
-    The latency model is deterministic: ``rules_p99 * SOAK_US_PER_RULE
-    + queue_depth_p99 * SOAK_US_PER_QUEUED_CALL``.  The memory model
-    extrapolates measured WAL/observation bytes by the phantom ratio and
-    adds ``SOAK_PRINCIPAL_STATE_BYTES`` per principal.  Two same-seed
-    runs produce byte-identical reports.
+    The latency and memory models are deterministic, priced by
+    ``cost_table`` (default :data:`~repro.simulation.costmodel.
+    DEFAULT_COST_TABLE`, whose per-component costs are derived from the
+    committed perf trajectory): modeled p99 latency is one indexed
+    decision plus marginal rule work plus queueing delay
+    (``us_per_decision + rules_p99 * us_per_rule + queue_depth_p99 *
+    us_per_queued_call``); the memory model charges
+    ``principal_state_bytes`` per principal and extrapolates measured
+    WAL/observation bytes by the phantom ratio.  Two same-seed runs
+    produce byte-identical reports.
     """
     if not populations:
         raise ValueError("capacity soak needs at least one population step")
@@ -528,23 +518,18 @@ def run_capacity_soak(
         drain_per_step=drain_per_step,
         populations=list(populations),
     )
+    costs = cost_table if cost_table is not None else DEFAULT_COST_TABLE
     for population in populations:
         step = _run_soak_step(
             population, seed, ticks, active_cap, queue_capacity,
             drain_per_step,
         )
-        step.modeled_p99_latency_us = round(
-            step.rules_p99 * SOAK_US_PER_RULE
-            + step.queue_depth_p99 * SOAK_US_PER_QUEUED_CALL,
-            3,
+        step.modeled_p99_latency_us = costs.modeled_p99_latency_us(
+            step.rules_p99, step.queue_depth_p99
         )
         ratio = max(1, population // step.active_principals)
-        est_bytes = (
-            population * SOAK_PRINCIPAL_STATE_BYTES
-            + ratio * (
-                step.wal_bytes
-                + step.stored_observations * SOAK_OBSERVATION_STATE_BYTES
-            )
+        est_bytes = costs.modeled_state_bytes(
+            population, step.wal_bytes, step.stored_observations, ratio
         )
         step.est_state_mb = round(est_bytes / (1024.0 * 1024.0), 3)
         limits: List[str] = []

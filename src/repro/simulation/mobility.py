@@ -10,7 +10,8 @@ relaxes room temperatures toward their HVAC setpoints.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.errors import ReproError
 from repro.sensors.environment import EnvironmentView, PresentDevice
@@ -47,6 +48,11 @@ class BuildingWorld(EnvironmentView):
         self._hvac_setpoints: Dict[str, float] = {}
         self._lunch_room = self._pick_lunch_room()
         self._pending_credentials: Dict[str, str] = {}
+        #: Visitors from other buildings: present in the ground truth
+        #: (their devices radiate like anyone's) but never auto-placed
+        #: by ``step`` -- their schedules and offices belong to their
+        #: home building, so a campus controller teleports them.
+        self._visitors: Set[str] = set()
 
     def _pick_lunch_room(self) -> str:
         rooms = sorted(
@@ -72,6 +78,8 @@ class BuildingWorld(EnvironmentView):
         hour = self.hour_of(now)
         self._previous_locations = dict(self._locations)
         for inhabitant in self._inhabitants.values():
+            if inhabitant.user_id in self._visitors:
+                continue  # placed by the campus controller, not the schedule
             self._locations[inhabitant.user_id] = self._place(inhabitant, hour)
         self._relax_temperatures(dt_s)
 
@@ -126,6 +134,28 @@ class BuildingWorld(EnvironmentView):
         self._locations[user_id] = space_id
 
     # ------------------------------------------------------------------
+    # Cross-building visitors (federation roaming)
+    # ------------------------------------------------------------------
+    def add_visitor(self, inhabitant: Inhabitant) -> None:
+        """Admit a visitor from another building (idempotent)."""
+        if inhabitant.user_id in self._inhabitants:
+            self._visitors.add(inhabitant.user_id)
+            return
+        self._inhabitants[inhabitant.user_id] = inhabitant
+        self._locations[inhabitant.user_id] = None
+        self._visitors.add(inhabitant.user_id)
+
+    def remove_visitor(self, user_id: str) -> None:
+        """The visitor left the building; forget their ground truth."""
+        if user_id not in self._visitors:
+            return
+        self._visitors.discard(user_id)
+        self._inhabitants.pop(user_id, None)
+        self._locations.pop(user_id, None)
+        # _previous_locations keeps its entry for one step, so motion
+        # sensors see the departure like any other exit.
+
+    # ------------------------------------------------------------------
     # Ground truth queries
     # ------------------------------------------------------------------
     def location_of(self, user_id: str) -> Optional[str]:
@@ -173,3 +203,135 @@ class BuildingWorld(EnvironmentView):
 
     def credential_presented(self, space_id: str) -> Optional[str]:
         return self._pending_credentials.pop(space_id, None)
+
+
+@dataclass(frozen=True)
+class RoamEvent:
+    """One person crossing a building boundary this step."""
+
+    user_id: str
+    from_building: str
+    to_building: str
+    kind: str  # "roam" (left home) | "return" (came home)
+
+
+class CampusWorld:
+    """Ground truth for a campus: one BuildingWorld per building.
+
+    Residents follow their home building's schedules; *roamers*
+    additionally cross building boundaries under a seeded RNG, becoming
+    visitors in the destination world (placed in its common room, where
+    the sensors are) while their home world shows them absent.  The
+    emitted :class:`RoamEvent` stream is what drives IoTA handoffs in
+    the federation scenario -- the world decides *that* someone moved;
+    the privacy machinery decides what happens next.
+    """
+
+    def __init__(
+        self,
+        worlds: Mapping[str, BuildingWorld],
+        home_of: Mapping[str, str],
+        inhabitants: Mapping[str, Inhabitant],
+        roamers: Sequence[str],
+        seed: int = 0,
+        roam_rate: float = 0.25,
+        return_rate: float = 0.35,
+    ) -> None:
+        if not worlds:
+            raise ReproError("a campus needs at least one building world")
+        for user_id, home in home_of.items():
+            if home not in worlds:
+                raise ReproError(
+                    "inhabitant %r homes to unknown building %r" % (user_id, home)
+                )
+        for user_id in roamers:
+            if user_id not in home_of or user_id not in inhabitants:
+                raise ReproError("unknown roamer %r" % user_id)
+        self._worlds = dict(worlds)
+        self._home_of = dict(home_of)
+        self._inhabitants = dict(inhabitants)
+        self._roamers = tuple(sorted(set(roamers)))
+        self._assignment: Dict[str, str] = dict(home_of)
+        self._rng = random.Random(seed)
+        self._roam_rate = roam_rate
+        self._return_rate = return_rate
+
+    @property
+    def roamers(self) -> Sequence[str]:
+        return self._roamers
+
+    def world(self, building_id: str) -> BuildingWorld:
+        try:
+            return self._worlds[building_id]
+        except KeyError:
+            raise ReproError("unknown building %r" % building_id) from None
+
+    def building_of(self, user_id: str) -> str:
+        """The building ``user_id`` is currently assigned to."""
+        try:
+            return self._assignment[user_id]
+        except KeyError:
+            raise ReproError("unknown inhabitant %r" % user_id) from None
+
+    def location_of(self, user_id: str) -> Optional[str]:
+        """Ground-truth location in the user's current building."""
+        return self.world(self.building_of(user_id)).location_of(user_id)
+
+    def step(self, now: float, dt_s: float = 60.0) -> List[RoamEvent]:
+        """Advance every building; decide and apply roaming moves.
+
+        Roam decisions iterate the sorted roamer list against one
+        seeded RNG, so two same-seed runs produce the same event
+        stream.  A roamer leaves home only while their schedule has
+        them in a building, and is forced home once it no longer does
+        (nobody sleeps in a foreign lunch room).
+        """
+        events: List[RoamEvent] = []
+        for user_id in self._roamers:
+            home = self._home_of[user_id]
+            current = self._assignment[user_id]
+            schedule = self._inhabitants[user_id].schedule
+            hour = self._worlds[home].hour_of(now)
+            if current == home:
+                if schedule.in_building(hour) and self._rng.random() < self._roam_rate:
+                    choices = sorted(b for b in self._worlds if b != home)
+                    if not choices:
+                        continue
+                    destination = self._rng.choice(choices)
+                    self._assignment[user_id] = destination
+                    self._worlds[destination].add_visitor(
+                        self._inhabitants[user_id]
+                    )
+                    events.append(
+                        RoamEvent(
+                            user_id=user_id,
+                            from_building=home,
+                            to_building=destination,
+                            kind="roam",
+                        )
+                    )
+            else:
+                must_return = not schedule.in_building(hour)
+                if must_return or self._rng.random() < self._return_rate:
+                    self._worlds[current].remove_visitor(user_id)
+                    self._assignment[user_id] = home
+                    events.append(
+                        RoamEvent(
+                            user_id=user_id,
+                            from_building=current,
+                            to_building=home,
+                            kind="return",
+                        )
+                    )
+        for building_id in sorted(self._worlds):
+            self._worlds[building_id].step(now, dt_s)
+        # Enforce the assignment: someone visiting building B is absent
+        # from their home world and present in B's common room.
+        for user_id, building_id in sorted(self._assignment.items()):
+            home = self._home_of[user_id]
+            if building_id == home:
+                continue
+            self._worlds[home].teleport(user_id, None)
+            visited = self._worlds[building_id]
+            visited.teleport(user_id, visited.lunch_room)
+        return events

@@ -146,6 +146,10 @@ class TIPPERS(Endpoint):
             )
         self.inference = InferenceEngine(self.datastore, spatial)
         self.social = SocialInference(self.datastore)
+        #: user_id -> home building, for principals whose home shard is
+        #: another building (federation roaming).  Decisions about them
+        #: carry a ``roaming:<home>`` marker in reasons and audit.
+        self._roaming: Dict[str, str] = {}
         self.request_manager = RequestManager(
             self.engine,
             self.inference,
@@ -154,6 +158,7 @@ class TIPPERS(Endpoint):
             self.policy_manager,
             social=self.social,
             metrics=self.metrics,
+            roaming_lookup=self._roaming.get,
         )
 
     # ------------------------------------------------------------------
@@ -173,6 +178,36 @@ class TIPPERS(Endpoint):
         if invalidate is not None:
             invalidate()
         return result
+
+    def register_roaming_user(
+        self, profile: UserProfile, home_building_id: str
+    ) -> bool:
+        """Admit a visiting principal whose home shard is another building.
+
+        Idempotent: re-registering an already-known visitor only
+        refreshes the home mapping (an IoTA re-entering mid-handoff must
+        not trip the directory's duplicate guard).  Registering a
+        principal whose home *is* this building clears any stale roaming
+        mark instead -- their decisions are local again.  Returns whether
+        the profile was newly added to the directory.
+        """
+        added = False
+        if profile.user_id not in self.directory:
+            self.add_user(profile)
+            added = True
+        if home_building_id == self.building_id:
+            self._roaming.pop(profile.user_id, None)
+        else:
+            self._roaming[profile.user_id] = home_building_id
+        self.metrics.counter(
+            "tippers_roaming_registrations_total",
+            {"building": self.building_id},
+        ).inc()
+        return added
+
+    def roaming_home_of(self, user_id: str) -> Optional[str]:
+        """The visitor's home building, or None for locals."""
+        return self._roaming.get(user_id)
 
     def deploy_sensor(
         self,
@@ -337,11 +372,25 @@ class TIPPERS(Endpoint):
                 withdraw_preferences=bool(
                     payload.get("withdraw_preferences", False)
                 ),
+                compact_storage=bool(payload.get("compact_storage", False)),
             )
             return {
                 "user_id": receipt.user_id,
                 "erased_observations": receipt.erased_observations,
                 "withdrawn_preferences": receipt.withdrawn_preferences,
+                "storage_compacted": receipt.storage_compacted,
+            }
+        if method == "register_roaming":
+            from repro.users.profile import profile_from_dict
+
+            profile = profile_from_dict(payload["profile"])
+            added = self.register_roaming_user(
+                profile, payload["home_building_id"]
+            )
+            return {
+                "user_id": profile.user_id,
+                "added": added,
+                "roaming": self.roaming_home_of(profile.user_id) is not None,
             }
         if method == "locate_user":
             response = self.locate_user(

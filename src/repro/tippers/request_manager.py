@@ -115,6 +115,7 @@ class RequestManager:
         policy_manager: PolicyManager,
         social: Optional[SocialInference] = None,
         metrics: Optional[MetricsRegistry] = None,
+        roaming_lookup: Optional[Callable[[str], Optional[str]]] = None,
     ) -> None:
         self._engine = engine
         self._inference = inference
@@ -123,6 +124,27 @@ class RequestManager:
         self._policy_manager = policy_manager
         self._social = social
         self.metrics = metrics if metrics is not None else get_registry()
+        #: subject_id -> home building for federation visitors; ``None``
+        #: (or a lookup returning None) means the subject is local.
+        self._roaming_lookup = roaming_lookup
+
+    def _roaming_notes(self, subject_id: Optional[str]) -> Tuple[str, ...]:
+        """An audit marker when the subject is a roaming visitor.
+
+        Decisions a visited shard makes about a roaming principal carry
+        ``roaming:<home>`` in both the response reasons and the audit
+        record, so a campus audit can always attribute a visited-shard
+        decision back to the subject's home building.
+        """
+        if self._roaming_lookup is None or subject_id is None:
+            return ()
+        home = self._roaming_lookup(subject_id)
+        if home is None:
+            return ()
+        self.metrics.counter(
+            "tippers_roaming_decisions_total", {"method": "all"}
+        ).inc()
+        return ("roaming:%s" % home,)
 
     # ------------------------------------------------------------------
     # Graceful degradation
@@ -217,6 +239,7 @@ class RequestManager:
             self.metrics.counter(
                 "brownout_queries_total", {"method": "locate_user"}
             ).inc()
+        notes += self._roaming_notes(subject_id)
         try:
             estimate = self._inference.locate(subject_id, now)
         except StorageError as exc:
@@ -295,7 +318,7 @@ class RequestManager:
             now,
             purpose,
         )
-        decision = self._engine.decide(request)
+        decision = self._engine.decide(request, self._roaming_notes(subject_id))
         if not decision.allowed:
             return QueryResponse.denied(decision.resolution.reasons)
         try:

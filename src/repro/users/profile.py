@@ -36,6 +36,36 @@ class UserProfile:
         return group in self.groups
 
 
+def profile_to_dict(profile: UserProfile) -> Dict[str, object]:
+    """The wire form of a profile (roaming handoff, admin tooling)."""
+    return {
+        "user_id": profile.user_id,
+        "name": profile.name,
+        "groups": sorted(profile.groups),
+        "department": profile.department,
+        "affiliation": profile.affiliation,
+        "office_id": profile.office_id,
+        "device_macs": list(profile.device_macs),
+        "has_iota": profile.has_iota,
+    }
+
+
+def profile_from_dict(data: Dict[str, object]) -> UserProfile:
+    """Rebuild a profile from its wire form."""
+    return UserProfile(
+        user_id=str(data["user_id"]),
+        name=str(data.get("name", "")),
+        groups=frozenset(str(g) for g in data.get("groups", [])),  # type: ignore[union-attr]
+        department=str(data.get("department", "")),
+        affiliation=str(data.get("affiliation", "")),
+        office_id=(
+            None if data.get("office_id") is None else str(data["office_id"])
+        ),
+        device_macs=tuple(str(m) for m in data.get("device_macs", [])),  # type: ignore[union-attr]
+        has_iota=bool(data.get("has_iota", True)),
+    )
+
+
 class UserDirectory:
     """Registry of user profiles with device-to-owner resolution.
 

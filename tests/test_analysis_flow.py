@@ -140,6 +140,89 @@ class TestCallGraph:
         sites = graph.sites_of("repro.pipe.wiring.client")
         assert any(site.dynamic for site in sites)
 
+    def test_prefix_registration_resolves_sharded_call_sites(self):
+        # The federation pattern: endpoints register under
+        # ``PREFIX + building_id`` with the prefix constant imported
+        # from another module; calls through the same expression (or a
+        # constant topic sharing the prefix) must resolve, not go
+        # dynamic.
+        sources = {
+            "src/repro/pipe/naming.py": 'SHARD_PREFIX = "shard-"\n',
+            "src/repro/pipe/endpoint.py": textwrap.dedent(
+                """
+                class Endpoint:
+                    def handle(self, method, payload):
+                        return payload
+                """
+            ),
+            "src/repro/pipe/wiring.py": textwrap.dedent(
+                """
+                from repro.pipe.endpoint import Endpoint
+                from repro.pipe.naming import SHARD_PREFIX
+
+                def wire(bus, building_id):
+                    endpoint = Endpoint()
+                    bus.register(SHARD_PREFIX + building_id, endpoint)
+
+                def client(bus, building_id):
+                    return bus.call(SHARD_PREFIX + building_id, "m", {})
+
+                def pinned_client(bus):
+                    return bus.call("shard-bldg-a", "m", {})
+                """
+            ),
+        }
+        graph = build_call_graph_from_sources(sources, MODEL)
+        handle = "repro.pipe.endpoint.Endpoint.handle"
+        assert graph.topic_prefixes == {"shard-": handle}
+        for caller in ("client", "pinned_client"):
+            sites = graph.sites_of("repro.pipe.wiring.%s" % caller)
+            assert [s.candidates for s in sites] == [(handle,)]
+            assert not any(s.dynamic for s in sites)
+
+    def test_longest_registered_prefix_wins(self):
+        sources = {
+            "src/repro/pipe/endpoint.py": textwrap.dedent(
+                """
+                class Endpoint:
+                    def handle(self, method, payload):
+                        return payload
+
+                class Registry:
+                    def handle(self, method, payload):
+                        return payload
+                """
+            ),
+            "src/repro/pipe/wiring.py": textwrap.dedent(
+                """
+                from repro.pipe.endpoint import Endpoint, Registry
+
+                SHORT = "svc-"
+                LONG = "svc-registry-"
+
+                def wire(bus, suffix):
+                    endpoint = Endpoint()
+                    registry = Registry()
+                    bus.register(SHORT + suffix, endpoint)
+                    bus.register(LONG + suffix, registry)
+
+                def client(bus, suffix):
+                    return bus.call(LONG + suffix, "m", {})
+                """
+            ),
+        }
+        graph = build_call_graph_from_sources(sources, MODEL)
+        sites = graph.sites_of("repro.pipe.wiring.client")
+        assert [s.candidates for s in sites] == [
+            ("repro.pipe.endpoint.Registry.handle",),
+        ]
+
+    def test_classmethod_cls_call_resolves_to_the_class(self):
+        graph = build_call_graph_from_sources({APP_PATH: COMMON}, MODEL)
+        sites = graph.sites_of("repro.pipe.app.Response.denied")
+        assert [s.candidates for s in sites] == [("repro.pipe.app.Response",)]
+        assert not any(s.dynamic for s in sites)
+
     def test_missing_path_raises(self):
         with pytest.raises(AnalysisError):
             collect_files(["/no/such/tree"])
@@ -353,6 +436,26 @@ class TestF006DynamicDispatch:
                 return data
             """,
             model=model,
+        )
+        assert findings == []
+
+    def test_sharded_bus_call_on_tainted_path_is_not_dynamic(self):
+        # Regression: a router addressing shards via PREFIX + suffix
+        # used to be an unresolvable dynamic site, so any taint in the
+        # router module tripped F006 on calls that in fact route to a
+        # registered (enforcing) endpoint.
+        findings = analyze(
+            """
+            SHARD_PREFIX = "shard-"
+
+            def wire(bus):
+                endpoint = Engine()
+                bus.register(SHARD_PREFIX + "a", endpoint)
+
+            def route(bus, sensor: Sensor, building_id):
+                data = sensor.sample()
+                return bus.call(SHARD_PREFIX + building_id, "m", data)
+            """
         )
         assert findings == []
 

@@ -15,6 +15,8 @@ import pytest
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
     BENCHMARK_NAMES,
+    OPTIONAL_BENCHMARK_NAMES,
+    REQUIRED_BENCHMARK_NAMES,
     BenchmarkEntry,
     BenchRecord,
     LatencySummary,
@@ -69,11 +71,31 @@ class TestRoundTrip:
         assert text.endswith("\n")
         assert json.loads(text)["version"] == BENCH_SCHEMA_VERSION
 
-    def test_every_benchmark_name_is_required(self):
-        assert set(BENCHMARK_NAMES) == {
+    def test_benchmark_name_sets_are_pinned(self):
+        assert set(REQUIRED_BENCHMARK_NAMES) == {
             "scale_enforcement", "scale_ingest", "scale_notifications",
             "scale_week", "scale_overload",
         }
+        assert set(OPTIONAL_BENCHMARK_NAMES) == {"scale_federate"}
+        assert set(BENCHMARK_NAMES) == (
+            set(REQUIRED_BENCHMARK_NAMES) | set(OPTIONAL_BENCHMARK_NAMES)
+        )
+
+    def test_optional_benchmarks_may_be_absent(self):
+        # BENCH_0001/0002 predate scale_federate; they must stay loadable.
+        benchmarks = {
+            name: make_entry(name) for name in REQUIRED_BENCHMARK_NAMES
+        }
+        record = BenchRecord(
+            version=BENCH_SCHEMA_VERSION,
+            record_id=1,
+            scale="ci",
+            label="pre-federation record",
+            peak_rss_kb=1024,
+            benchmarks=benchmarks,
+        )
+        loaded = BenchRecord.loads(record.dumps())
+        assert set(loaded.benchmarks) == set(REQUIRED_BENCHMARK_NAMES)
 
 
 class TestVersionGate:

@@ -112,3 +112,63 @@ class TestDeterminism:
     def test_default_populations_are_stepped(self):
         assert SOAK_POPULATIONS == (1000, 10000, 100000, 1000000)
         assert list(SOAK_POPULATIONS) == sorted(SOAK_POPULATIONS)
+
+
+class TestCostTable:
+    def test_pinned_table_matches_its_source_record(self):
+        # The defaults claim to be derived from the committed
+        # BENCH_0002; re-derive and compare, so a trajectory rewrite
+        # cannot silently diverge from the model.
+        import os
+
+        from repro.bench import list_records
+        from repro.bench.runner import load_record
+        from repro.simulation.costmodel import (
+            COST_TABLE_SOURCE_RECORD_ID,
+            DEFAULT_COST_TABLE,
+            cost_table_from_record,
+        )
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = dict(list_records(root))
+        record = load_record(paths[COST_TABLE_SOURCE_RECORD_ID])
+        assert cost_table_from_record(record) == DEFAULT_COST_TABLE
+
+    def test_latency_model_prices_each_component(self):
+        from repro.simulation.costmodel import CostTable
+
+        table = CostTable(
+            us_per_decision=10.0, us_per_rule=0.5, us_per_queued_call=2.0
+        )
+        assert table.modeled_p99_latency_us(4, 3) == 18.0
+        assert table.modeled_p99_latency_us(0, 0) == 10.0
+
+    def test_memory_model_extrapolates_by_phantom_ratio(self):
+        from repro.simulation.costmodel import CostTable
+
+        table = CostTable(
+            principal_state_bytes=100, observation_state_bytes=10
+        )
+        assert table.modeled_state_bytes(
+            population=5, wal_bytes=50, stored_observations=3, phantom_ratio=2
+        ) == 5 * 100 + 2 * (50 + 3 * 10)
+
+    def test_negative_costs_rejected(self):
+        from repro.simulation.costmodel import CostTable
+
+        with pytest.raises(ValueError):
+            CostTable(us_per_rule=-0.1)
+
+    def test_soak_accepts_a_custom_table(self):
+        from repro.simulation.costmodel import CostTable
+
+        cheap = run_capacity_soak(
+            populations=(1000,),
+            ticks=2,
+            cost_table=CostTable(
+                us_per_decision=0.0,
+                us_per_rule=0.0,
+                us_per_queued_call=0.0,
+            ),
+        )
+        assert cheap.steps[0].modeled_p99_latency_us == 0.0

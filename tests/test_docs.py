@@ -286,18 +286,24 @@ class TestBenchmarksDoc:
         for name in SCALES:
             assert "`%s`" % name in bench_text
 
-    def test_documented_soak_constants_match(self, bench_text):
-        from repro.simulation.longrun import (
-            SOAK_US_PER_QUEUED_CALL,
-            SOAK_US_PER_RULE,
-            SOAK_PRINCIPAL_STATE_BYTES,
+    def test_documented_soak_cost_table_matches(self, bench_text):
+        from repro.simulation.costmodel import (
+            COST_TABLE_SOURCE_RECORD_ID,
+            DEFAULT_COST_TABLE,
         )
 
-        assert "rules_p99 * %.1fus" % SOAK_US_PER_RULE in bench_text
+        assert "%.1fus" % DEFAULT_COST_TABLE.us_per_decision in bench_text
+        assert "rules_p99 * %.3fus" % DEFAULT_COST_TABLE.us_per_rule in bench_text
         assert (
-            "queue_depth_p99 * %.1fus" % SOAK_US_PER_QUEUED_CALL in bench_text
+            "queue_depth_p99 * %.1fus" % DEFAULT_COST_TABLE.us_per_queued_call
+            in bench_text
         )
-        assert "%d bytes per principal" % SOAK_PRINCIPAL_STATE_BYTES in bench_text
+        assert (
+            "%d bytes per principal" % DEFAULT_COST_TABLE.principal_state_bytes
+            in bench_text
+        )
+        # The docs must name the record the derivation pins.
+        assert "BENCH_%04d" % COST_TABLE_SOURCE_RECORD_ID in bench_text
 
     def test_committed_trajectory_validates(self):
         from repro.bench import latest_record, list_records
@@ -321,3 +327,46 @@ class TestBenchmarksDoc:
         readme = (DOCS.parent.parent / "README.md").read_text()
         assert "BENCH_" in readme
         assert "perf trajectory" in readme.lower()
+
+
+class TestFederationDoc:
+    """docs/FEDERATION.md must stay true to the federation code."""
+
+    @pytest.fixture(scope="class")
+    def federation_text(self):
+        return (DOCS.parent / "FEDERATION.md").read_text()
+
+    def test_worked_example_runs(self, federation_text):
+        blocks = re.findall(r"```python\n(.*?)```", federation_text, re.S)
+        assert blocks, "the federation doc must contain the roaming example"
+        for block in blocks:
+            exec(compile(block, "<FEDERATION.md example>", "exec"), {})
+
+    def test_endpoint_prefixes_match_the_code(self, federation_text):
+        from repro.federation import (
+            REGISTRY_ENDPOINT_PREFIX,
+            SHARD_ENDPOINT_PREFIX,
+        )
+
+        # The doc spells the concrete endpoint names for building "b".
+        assert "`%sb`" % SHARD_ENDPOINT_PREFIX in federation_text
+        assert "`%sb`" % REGISTRY_ENDPOINT_PREFIX in federation_text
+
+    def test_documented_vnode_default_matches(self, federation_text):
+        from repro.federation.ring import DEFAULT_VNODES
+
+        assert "(default %d)" % DEFAULT_VNODES in federation_text
+
+    def test_roaming_and_dsar_methods_are_critical(self):
+        from repro.net.admission import DEFAULT_METHOD_PRIORITIES, Priority
+
+        for method in ("register_roaming", "dsar_report", "dsar_erase"):
+            assert DEFAULT_METHOD_PRIORITIES[method] is Priority.CRITICAL
+
+    def test_cli_and_makefile_are_wired(self, federation_text):
+        assert "python -m repro federate" in federation_text
+        makefile = (DOCS.parent.parent / "Makefile").read_text()
+        assert "federate:" in makefile
+        readme = (DOCS.parent.parent / "README.md").read_text()
+        assert "docs/FEDERATION.md" in readme
+        assert "python -m repro federate" in readme

@@ -151,6 +151,7 @@ class TestFaultTrace:
 class TestNamedPlans:
     def test_registry_is_sorted_and_complete(self):
         assert named_plans() == (
+            "campus-storm",
             "crashy-storage",
             "datastore-brownout",
             "flaky-registry",
