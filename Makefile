@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast diff-test bench-smoke bench soak lint lint-flow obs chaos recover overload federate
+.PHONY: test test-fast diff-test bench-smoke bench soak lint lint-flow obs chaos recover overload federate rebalance
 
 # Full tier-1 suite: unit + integration + property tests.
 test:
@@ -104,3 +104,12 @@ federate:
 	PYTHONPATH=src $(PYTHON) -m repro federate --plan campus-storm \
 	          --seed 17 --report-out /tmp/repro-federate-b.txt
 	diff /tmp/repro-federate-a.txt /tmp/repro-federate-b.txt
+
+rebalance:
+	$(PYTEST) -x -q tests/test_ring_changes.py tests/test_rebalance.py \
+	          tests/test_rebalance_scenario.py
+	PYTHONPATH=src $(PYTHON) -m repro rebalance --plan ring-change \
+	          --seed 23 --report-out /tmp/repro-rebalance-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro rebalance --plan ring-change \
+	          --seed 23 --report-out /tmp/repro-rebalance-b.txt
+	diff /tmp/repro-rebalance-a.txt /tmp/repro-rebalance-b.txt

@@ -51,6 +51,17 @@ federate [--plan NAME] [--seed N] [--population N] [--ticks N] [--json]
     seeded and byte-reproducible; exits 1 if any federation invariant is
     violated.  ``--report-out PATH`` writes the report text for
     byte-diffing; ``--dir PATH`` keeps each shard's WAL directory.
+rebalance [--plan NAME] [--seed N] [--population N] [--ticks N] [--json]
+    Run the elastic-membership scenario: a building joins the campus
+    hash ring and another drains out, with every displaced user moved
+    by the two-phase WAL-journaled migration protocol -- under the
+    ``ring-change`` plan, which partitions one finalize acknowledgement
+    and crashes a destination shard mid-import.  Checks the rebalancing
+    invariants (journal-guided convergence, marked forwarded decisions,
+    fail-closed dark windows, no post-DSAR resurrection, breaker
+    eviction on decommission) and exits 1 if any is violated.  The
+    report is byte-reproducible; ``--report-out PATH`` writes it for
+    diffing and ``--dir PATH`` keeps each shard's WAL directory.
 recover --dir PATH [--json]
     Replay an existing storage directory (snapshot + WAL) and print the
     recovery report without mutating it.
@@ -456,6 +467,45 @@ def _cmd_federate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FaultError, FederationError
+    from repro.simulation.rebalance import run_rebalance_scenario
+
+    buildings = None
+    if args.buildings:
+        buildings = [b.strip() for b in args.buildings.split(",") if b.strip()]
+    try:
+        kwargs = {}
+        if buildings is not None:
+            kwargs["buildings"] = buildings
+        report = run_rebalance_scenario(
+            plan_name=args.plan,
+            seed=args.seed,
+            population=args.population,
+            ticks=args.ticks,
+            directory=args.dir,
+            **kwargs
+        )
+    except (FaultError, FederationError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(report.report_text)
+    if args.report_out:
+        try:
+            with open(args.report_out, "w") as handle:
+                handle.write(report.report_text)
+        except OSError as error:
+            print("error: cannot write %s: %s" % (args.report_out, error),
+                  file=sys.stderr)
+            return 2
+    return 0 if report.ok else 1
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json
 
@@ -777,6 +827,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the deterministic report text here",
     )
     federate.set_defaults(func=_cmd_federate)
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="run the elastic-membership rebalancing scenario",
+    )
+    rebalance.add_argument(
+        "--plan", default="ring-change",
+        help="fault plan name (default: ring-change)",
+    )
+    rebalance.add_argument("--seed", type=int, default=23)
+    rebalance.add_argument("--population", type=_positive_int, default=24)
+    rebalance.add_argument("--ticks", type=_positive_int, default=12)
+    rebalance.add_argument(
+        "--buildings", default=None, metavar="CSV",
+        help="comma-separated initial building ids (default: bldg-a..bldg-c)",
+    )
+    rebalance.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="keep each shard's WAL under this storage root",
+    )
+    rebalance.add_argument("--json", action="store_true",
+                           help="print the report as JSON")
+    rebalance.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the deterministic report text here",
+    )
+    rebalance.set_defaults(func=_cmd_rebalance)
 
     recover = subparsers.add_parser(
         "recover", help="replay a storage directory and print the recovery report"

@@ -47,6 +47,7 @@ REQUIRED_BENCHMARK_NAMES: Tuple[str, ...] = (
 #: require what BENCH_0001 could not have measured.
 OPTIONAL_BENCHMARK_NAMES: Tuple[str, ...] = (
     "scale_federate",
+    "scale_rebalance",
 )
 
 #: Every benchmark name this build understands, in SCALE order.

@@ -50,6 +50,8 @@ class ScalePreset:
     overload_ticks: int
     federate_population: int
     federate_ticks: int
+    rebalance_population: int
+    rebalance_ticks: int
 
 
 #: ``smoke`` keeps the unit-test suite fast, ``ci`` is what the bench
@@ -66,6 +68,7 @@ SCALES: Dict[str, ScalePreset] = {
             week_days=1, week_population=6, week_ticks_per_day=4,
             overload_population=4, overload_ticks=6,
             federate_population=12, federate_ticks=16,
+            rebalance_population=24, rebalance_ticks=12,
         ),
         ScalePreset(
             name="ci",
@@ -76,6 +79,7 @@ SCALES: Dict[str, ScalePreset] = {
             week_days=2, week_population=10, week_ticks_per_day=8,
             overload_population=8, overload_ticks=12,
             federate_population=12, federate_ticks=16,
+            rebalance_population=24, rebalance_ticks=12,
         ),
         ScalePreset(
             name="full",
@@ -86,6 +90,7 @@ SCALES: Dict[str, ScalePreset] = {
             week_days=8, week_population=24, week_ticks_per_day=16,
             overload_population=12, overload_ticks=16,
             federate_population=16, federate_ticks=24,
+            rebalance_population=32, rebalance_ticks=16,
         ),
     )
 }
@@ -540,6 +545,54 @@ def run_scale_federate(scale: ScalePreset) -> BenchmarkEntry:
     )
 
 
+# ----------------------------------------------------------------------
+# SCALE-7: elastic membership (ring change + crash-tolerant rebalance)
+# ----------------------------------------------------------------------
+def run_scale_rebalance(scale: ScalePreset) -> BenchmarkEntry:
+    from repro.simulation.rebalance import run_rebalance_scenario
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    report = run_rebalance_scenario(
+        plan_name="ring-change",
+        seed=23,
+        population=scale.rebalance_population,
+        ticks=scale.rebalance_ticks,
+        metrics=registry,
+    )
+    elapsed = time.perf_counter() - start
+    if not report.ok:
+        raise BenchError(
+            "rebalance workload violated its invariants: %s"
+            % "; ".join(report.violations)
+        )
+
+    checked = max(report.ledger_checked, 1)
+    stats = report.migration_stats
+    return BenchmarkEntry(
+        name="scale_rebalance",
+        decision_latency=_latency_summary(
+            registry.merged_histogram("enforcement_decide_seconds"),
+            "scale_rebalance",
+        ),
+        ingest_throughput_per_s=_throughput(report.ledger_checked, elapsed),
+        shed_rate=round(report.ledger_shed / checked, 6),
+        brownout_rate=0.0,
+        wal_bytes=int(registry.total("storage_wal_bytes_total")),
+        extra={
+            "population": float(report.population),
+            "migrations_planned": float(stats.get("planned", 0)),
+            "migrations_completed": float(stats.get("completed", 0)),
+            "resumed_committed": float(stats.get("resumed_committed", 0)),
+            "observations_moved": float(report.observations_moved),
+            "preferences_moved": float(report.preferences_moved),
+            "forwarded_marked": float(report.marked_responses),
+            "dsar_erased": float(report.dsar_erased),
+            "recovered": 1.0 if report.recovered else 0.0,
+        },
+    )
+
+
 #: Workload registry, in SCALE order; ``runner.run_suite`` walks this.
 WORKLOADS: Tuple[Tuple[str, Callable[[ScalePreset], BenchmarkEntry]], ...] = (
     ("scale_enforcement", run_scale_enforcement),
@@ -548,4 +601,5 @@ WORKLOADS: Tuple[Tuple[str, Callable[[ScalePreset], BenchmarkEntry]], ...] = (
     ("scale_week", run_scale_week),
     ("scale_overload", run_scale_overload),
     ("scale_federate", run_scale_federate),
+    ("scale_rebalance", run_scale_rebalance),
 )

@@ -13,6 +13,7 @@ from repro.faults.plan import (
     ADMISSION_KINDS,
     BUS_KINDS,
     DATASTORE_KINDS,
+    MIGRATION_KINDS,
     POLICY_KINDS,
     SENSOR_KINDS,
     WAL_KINDS,
@@ -28,6 +29,7 @@ __all__ = [
     "ADMISSION_KINDS",
     "BUS_KINDS",
     "DATASTORE_KINDS",
+    "MIGRATION_KINDS",
     "POLICY_KINDS",
     "SENSOR_KINDS",
     "WAL_KINDS",

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     ADMISSION_KINDS,
     BUS_KINDS,
     DATASTORE_KINDS,
+    MIGRATION_KINDS,
     POLICY_KINDS,
     SENSOR_KINDS,
     WAL_KINDS,
@@ -50,6 +51,7 @@ class FaultInjector:
         self._policy_stores: List[Tuple[Any, Any]] = []
         self._storage_engines: List[Any] = []
         self._admission_controllers: List[Any] = []
+        self._rebalancers: List[Any] = []
 
     @property
     def step(self) -> int:
@@ -134,6 +136,24 @@ class FaultInjector:
             )
         return burst
 
+    def _migration_plane(self, op: str, target: str) -> Tuple[str, ...]:
+        """Rebalance plane: one step per migration step boundary.
+
+        ``op`` is the migration step about to run (``copy``, ``import``,
+        ``finalize``) and ``target`` the migrating user.  Returns the
+        fired kind values; the coordinator turns ``crash_mid_migration``
+        into a :class:`~repro.errors.SimulatedCrash` of the shard
+        executing the step and ``cutover_partition`` into a skipped,
+        retried-later step (the user stays mid-migration, fail-closed).
+        """
+        step = self._advance()
+        fired = self.plan.matching(step, MIGRATION_KINDS, (op, target))
+        for spec in fired:
+            self.trace.record(
+                step, "rebalance", spec.kind, op, "user=%s" % target
+            )
+        return tuple(spec.kind.value for spec in fired)
+
     def _sensor_plane(self, sensor: Any) -> bool:
         """Sensing plane: one step per sensor sample; True stalls it."""
         step = self._advance()
@@ -178,6 +198,11 @@ class FaultInjector:
         engine.install_fault_plane(self._wal_plane)
         self._storage_engines.append(engine)
 
+    def install_rebalancer(self, coordinator: Any) -> None:
+        """Route migration step boundaries through the plan."""
+        coordinator.install_fault_plane(self._migration_plane)
+        self._rebalancers.append(coordinator)
+
     def install_policy_store(self, store: Any) -> None:
         """Make the store's policy fetches fault per the plan.
 
@@ -218,6 +243,9 @@ class FaultInjector:
             engine.remove_fault_plane(self._wal_plane)
         for controller in self._admission_controllers:
             controller.remove_fault_plane(self._admission_plane)
+        for coordinator in self._rebalancers:
+            coordinator.remove_fault_plane(self._migration_plane)
+        del self._rebalancers[:]
         del self._buses[:]
         del self._datastores[:]
         del self._subsystems[:]

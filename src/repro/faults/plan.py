@@ -59,6 +59,16 @@ class FaultKind(enum.Enum):
     """Admission: ``magnitude`` phantom arrivals land in the target's
     topic queue, driving its load toward the watermarks."""
 
+    CRASH_MID_MIGRATION = "crash_mid_migration"
+    """Rebalance: the shard executing the current migration step
+    crashes (source on ``copy``/``finalize``, destination on
+    ``import``); WAL replay must resume or roll back the migration."""
+
+    CUTOVER_PARTITION = "cutover_partition"
+    """Rebalance: the cross-shard link is partitioned at the current
+    migration step; the step is skipped, the user stays mid-migration
+    (fail-closed), and the coordinator retries after the window."""
+
 
 #: Which fault kinds each injection site consumes.
 BUS_KINDS = frozenset(
@@ -69,6 +79,9 @@ SENSOR_KINDS = frozenset({FaultKind.SENSOR_STALL})
 POLICY_KINDS = frozenset({FaultKind.POLICY_FETCH_FAIL})
 WAL_KINDS = frozenset({FaultKind.TORN_WRITE, FaultKind.CRASH_MID_APPEND})
 ADMISSION_KINDS = frozenset({FaultKind.OVERLOAD_BURST})
+MIGRATION_KINDS = frozenset(
+    {FaultKind.CRASH_MID_MIGRATION, FaultKind.CUTOVER_PARTITION}
+)
 
 
 @dataclass(frozen=True)

@@ -175,8 +175,45 @@ def _campus_storm(seed: int) -> FaultPlan:
     )
 
 
+def _ring_change(seed: int) -> FaultPlan:
+    """An elastic-membership day: rebalance under partition and crash.
+
+    The rebalance scenario installs *only* the migration plane on its
+    injector, so logical steps count migration-step consults exactly:
+    three per migration (copy, import acknowledgement, finalize), in
+    plan order.  The windows below are therefore scale-independent, as
+    long as the first wave migrates at least three users: steps 3-5 are
+    the second migration (its finalize acknowledgement partitions away,
+    leaving the user mid-flight and fail-closed until the coordinator
+    retries), and step 7 is the third migration's import
+    acknowledgement -- the destination shard dies *after* its WAL
+    journaled ``committed``, so resumption must take the replay-proved
+    finalize-only path.  Every later consult falls past both windows and
+    runs clean.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(
+                kind=FaultKind.CUTOVER_PARTITION,
+                target="finalize",
+                start=5,
+                stop=6,
+            ),
+            FaultSpec(
+                kind=FaultKind.CRASH_MID_MIGRATION,
+                target="import",
+                start=7,
+                stop=8,
+            ),
+        ],
+        seed=seed,
+        name="ring-change",
+    )
+
+
 _BUILDERS: Dict[str, Callable[[int], FaultPlan]] = {
     "campus-storm": _campus_storm,
+    "ring-change": _ring_change,
     "lossy": _lossy,
     "flaky-registry": _flaky_registry,
     "datastore-brownout": _datastore_brownout,

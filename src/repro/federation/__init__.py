@@ -7,7 +7,10 @@ and IoT Resource Registry, a :class:`~repro.federation.router.
 FederationRouter` consistent-hashes principals to a home shard and
 routes every cross-shard call through the existing admission layer, and
 campus-wide DSAR requests fan out to every shard that ever observed the
-subject (:mod:`repro.federation.dsar`).
+subject (:mod:`repro.federation.dsar`).  Membership is elastic:
+buildings join and drain at runtime, and
+:mod:`repro.federation.rebalance` migrates each displaced user with a
+two-phase, WAL-journaled, crash-recoverable protocol.
 
 See ``docs/FEDERATION.md`` for the shard layout, the hashing scheme,
 the IoTA roaming-handoff protocol, and the DSAR fan-out invariants.
@@ -19,6 +22,11 @@ from repro.federation.dsar import (
     CampusErasureReceipt,
     campus_access_report,
     campus_erase_subject,
+)
+from repro.federation.rebalance import (
+    MigrationOutcome,
+    RebalanceCoordinator,
+    UserMigration,
 )
 from repro.federation.ring import HashRing
 from repro.federation.router import (
@@ -34,8 +42,11 @@ __all__ = [
     "CampusErasureReceipt",
     "FederationRouter",
     "HashRing",
+    "MigrationOutcome",
     "REGISTRY_ENDPOINT_PREFIX",
     "SHARD_ENDPOINT_PREFIX",
+    "RebalanceCoordinator",
+    "UserMigration",
     "campus_access_report",
     "campus_erase_subject",
 ]

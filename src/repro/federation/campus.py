@@ -113,8 +113,13 @@ class Campus:
         self._profiles: Dict[str, UserProfile] = {}
         #: subject -> buildings whose sensors ever observed them.
         self._presence: Dict[str, Set[str]] = {}
+        #: Buildings decommissioned after a drain (history, not topology).
+        self.decommissioned: List[str] = []
         for index, building_id in enumerate(sorted(building_ids)):
             self._shards[building_id] = self._build_shard(building_id, index)
+        # Supervisor seeds stay deterministic as buildings come and go:
+        # each new shard takes the next index, never a recycled one.
+        self._next_shard_index = len(self._shards)
 
     # ------------------------------------------------------------------
     # Shard construction
@@ -197,6 +202,95 @@ class Campus:
 
     def shards(self) -> List[CampusShard]:
         return [self._shards[b] for b in sorted(self._shards)]
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_building(self, building_id: str) -> Dict[str, Tuple[str, str]]:
+        """Stand up a new shard and join it to the ring.
+
+        Returns the migration delta: ``user_id -> (old_home, new_home)``
+        for every campus user whose ring assignment moved.  The delta is
+        a *plan*, not an action -- nothing migrates until a
+        :class:`~repro.federation.rebalance.RebalanceCoordinator`
+        executes it, so ``home_of`` still names the old (and still
+        authoritative) shard for each moved user.
+        """
+        if building_id in self._shards:
+            raise FederationError("building %r already exists" % building_id)
+        shard = self._build_shard(building_id, self._next_shard_index)
+        self._next_shard_index += 1
+        self._shards[building_id] = shard
+        return self.router.add_building(
+            building_id, keys=sorted(self._profiles)
+        )
+
+    def drain_building(self, building_id: str) -> Dict[str, Tuple[str, str]]:
+        """Take a building off the ring ahead of decommissioning.
+
+        The shard stays live and addressable (migrations out of it still
+        need to call it), but new principals no longer hash to it.
+        Returns the migration delta for its displaced users.
+        """
+        self.shard(building_id)  # validate
+        return self.router.begin_drain(
+            building_id, keys=sorted(self._profiles)
+        )
+
+    def decommission_building(self, building_id: str) -> None:
+        """Retire a drained, emptied building for good.
+
+        Both its endpoints leave the bus with breaker eviction (the
+        building is never coming back, so its breaker state is garbage,
+        not health information), its storage closes, and the shard is
+        dropped from the campus.
+        """
+        shard = self.shard(building_id)
+        if building_id in self.router.building_ids():
+            raise FederationError(
+                "building %r is still on the ring; drain it first"
+                % building_id
+            )
+        still_home = sorted(
+            u for u, b in self.home_of.items() if b == building_id
+        )
+        if still_home:
+            raise FederationError(
+                "building %r still homes %d user(s); migrate them first"
+                % (building_id, len(still_home))
+            )
+        for user_id in self.router.migrating_principals():
+            migration = self.router.migration_of(user_id)
+            if migration is not None and building_id in migration:
+                raise FederationError(
+                    "building %r has an in-flight migration for %r"
+                    % (building_id, user_id)
+                )
+        self.bus.unregister(shard.endpoint, evict_breaker=True)
+        self.bus.unregister(shard.registry_endpoint, evict_breaker=True)
+        if shard.storage is not None and not shard.down:
+            shard.storage.close()
+        del self._shards[building_id]
+        self.router.finish_drain(building_id)
+        self.decommissioned.append(building_id)
+        self.metrics.counter(
+            "federation_buildings_decommissioned_total",
+            {"building": building_id},
+        ).inc()
+
+    def complete_migration(
+        self, user_id: str, from_building: str, to_building: str
+    ) -> None:
+        """Flip campus metadata after a migration's tombstone lands."""
+        profile = self.profile_of(user_id)
+        source = self.shard(from_building)
+        source.residents = [
+            p for p in source.residents if p.user_id != user_id
+        ]
+        dest = self.shard(to_building)
+        if all(p.user_id != user_id for p in dest.residents):
+            dest.residents.append(profile)
+        self.home_of[user_id] = to_building
 
     # ------------------------------------------------------------------
     # Residents
@@ -310,6 +404,22 @@ class Campus:
             tippers.register_roaming_user(
                 self._profiles[user_id], self.home_of[user_id]
             )
+        for user_id in self.router.migrating_principals():
+            migration = self.router.migration_of(user_id)
+            if (
+                migration is not None
+                and migration[1] == building_id
+                and user_id in self._profiles
+                and user_id not in resident_ids
+            ):
+                # A destination shard that crashed mid-import holds the
+                # migrating user's preferences in its WAL; registering
+                # them as local (home == this building) lets replay
+                # re-submit those preferences and clears any stale
+                # roaming mark the presence loop above may have set.
+                tippers.register_roaming_user(
+                    self._profiles[user_id], building_id
+                )
         report = tippers.recover(now)
         shard.tippers = tippers
         shard.storage = storage

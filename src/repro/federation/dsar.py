@@ -84,6 +84,15 @@ def _fanout_set(campus: Campus, user_id: str) -> Tuple[str, Tuple[str, ...]]:
     home = campus.router.home_building(user_id)
     observed = set(campus.buildings_observing(user_id))
     observed.add(home)
+    # A mid-migration subject has data on *both* ends of the move (the
+    # source until its tombstone, the destination from its first journal
+    # write), so a DSAR that lands mid-flight must visit both.
+    migration = campus.router.migration_of(user_id)
+    if migration is not None:
+        observed.update(migration)
+    # Decommissioned buildings fall out of the fan-out: their data moved
+    # out before the drain completed and their endpoints left the bus.
+    observed = {b for b in observed if campus.router.is_callable(b)}
     return home, tuple(sorted(observed))
 
 

@@ -12,6 +12,13 @@ end up with one shard owning half the population.
 Consistency is the point: adding a building moves only the keys that
 fall between its new points and their predecessors, so a campus can
 grow without re-homing every principal's preferences.
+
+The ring is *versioned and mutable*: :meth:`HashRing.add_building` and
+:meth:`HashRing.remove_building` rebuild the point list, bump
+:attr:`HashRing.version`, and return the deterministic migration delta
+-- exactly which of the caller's keys moved, and from where to where.
+The delta is what a rebalance coordinator executes; the ring itself
+never touches data.
 """
 
 from __future__ import annotations
@@ -46,9 +53,15 @@ class HashRing:
             raise FederationError("vnodes must be >= 1")
         self._nodes: Tuple[str, ...] = tuple(sorted(nodes))
         self._vnodes = vnodes
+        #: Bumped once per membership change; lets routers and reports
+        #: assert "the ring the decision was made under".
+        self.version = 1
+        self._rebuild()
+
+    def _rebuild(self) -> None:
         points: List[Tuple[int, str]] = []
         for node in self._nodes:
-            for index in range(vnodes):
+            for index in range(self._vnodes):
                 points.append((_point("%s/vnode#%d" % (node, index)), node))
         # Ties (astronomically unlikely) resolve by node name so the
         # ring is a pure function of (nodes, vnodes).
@@ -59,6 +72,61 @@ class HashRing:
     def nodes(self) -> Tuple[str, ...]:
         """Every node on the ring, sorted."""
         return self._nodes
+
+    # ------------------------------------------------------------------
+    # Membership changes
+    # ------------------------------------------------------------------
+    def _delta(
+        self, before: Dict[str, str], keys: Sequence[str]
+    ) -> Dict[str, Tuple[str, str]]:
+        """key -> (old_home, new_home) for every key that moved."""
+        moved: Dict[str, Tuple[str, str]] = {}
+        for key in keys:
+            new_home = self.node_for(key)
+            old_home = before[key]
+            if new_home != old_home:
+                moved[key] = (old_home, new_home)
+        return moved
+
+    def add_building(
+        self, node: str, keys: Sequence[str] = ()
+    ) -> Dict[str, Tuple[str, str]]:
+        """Add ``node`` to the ring; returns the migration delta.
+
+        The delta maps each of ``keys`` that changed owner to its
+        ``(old_home, new_home)`` pair -- by consistency, every
+        ``new_home`` is the added node.
+        """
+        if node in self._nodes:
+            raise FederationError("building %r is already on the ring" % node)
+        if not node:
+            raise FederationError("building id must be non-empty")
+        before = self.assignments(keys)
+        self._nodes = tuple(sorted(self._nodes + (node,)))
+        self._rebuild()
+        self.version += 1
+        return self._delta(before, keys)
+
+    def remove_building(
+        self, node: str, keys: Sequence[str] = ()
+    ) -> Dict[str, Tuple[str, str]]:
+        """Remove ``node`` from the ring; returns the migration delta.
+
+        Removing the last building raises -- an empty ring has no owner
+        for any key, and the error beats a divide-by-zero deep in
+        ``node_for``.
+        """
+        if node not in self._nodes:
+            raise FederationError("building %r is not on the ring" % node)
+        if len(self._nodes) == 1:
+            raise FederationError(
+                "cannot remove the last building %r from the ring" % node
+            )
+        before = self.assignments(keys)
+        self._nodes = tuple(n for n in self._nodes if n != node)
+        self._rebuild()
+        self.version += 1
+        return self._delta(before, keys)
 
     def node_for(self, key: str) -> str:
         """The node owning ``key``: first ring point clockwise from it."""

@@ -433,6 +433,38 @@ class IoTAssistant:
             notifications=len(discovery.notifications),
         )
 
+    def rehome(
+        self, tippers_endpoint: str, registry_endpoint: str
+    ) -> Dict[str, int]:
+        """Point this assistant at its user's *new* home shard.
+
+        Called after a rebalancing migration moves the user between
+        buildings: unlike :meth:`roam_to` there is no roaming
+        registration (the destination already holds the migrated profile
+        as a local), just an endpoint retarget plus a belt-and-braces
+        re-push of any recorded preference the new home has not
+        acknowledged to this assistant (the migration copied the
+        preference *records*, but an acknowledgement the source gave is
+        not one the destination gave; re-submission is latest-wins, so a
+        duplicate push is harmless).  Returns push counts.
+        """
+        self.tippers_endpoint = tippers_endpoint
+        self.registry_endpoints = [registry_endpoint]
+        pushed_keys = self._pushed_keys.setdefault(tippers_endpoint, set())
+        pushed = 0
+        pending = 0
+        for key, preference in list(self._submitted_preferences):
+            if key in pushed_keys:
+                continue
+            try:
+                self.submit_preference(preference)
+            except (RpcError, NetworkError):
+                pending += 1
+                continue
+            pushed += 1
+        self.metrics.counter("iota_rehomes_total").inc()
+        return {"preferences_pushed": pushed, "preferences_pending": pending}
+
     def fetch_effect_preview(self, now: float, space_id: Optional[str] = None) -> List[str]:
         """What the building will actually do with this user's data.
 

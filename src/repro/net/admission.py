@@ -71,6 +71,12 @@ DEFAULT_METHOD_PRIORITIES: Dict[str, Priority] = {
     "dsar_report": Priority.CRITICAL,
     "dsar_erase": Priority.CRITICAL,
     "register_roaming": Priority.CRITICAL,
+    # Migration steps move a principal's policies/preferences/data
+    # between shards; shedding one would strand the user mid-migration
+    # (fail-closed, so every decision about them would fail too).
+    "migrate_export": Priority.CRITICAL,
+    "migrate_import": Priority.CRITICAL,
+    "migrate_finalize": Priority.CRITICAL,
     # NORMAL: service queries and capture-shaped traffic.
     "locate_user": Priority.NORMAL,
     "room_occupancy": Priority.NORMAL,

@@ -175,8 +175,18 @@ class MessageBus:
     ) -> None:
         self.register(name, _CallableEndpoint(handler))
 
-    def unregister(self, name: str) -> None:
+    def unregister(self, name: str, evict_breaker: bool = False) -> None:
+        """Remove an endpoint; optionally drop its breaker entry too.
+
+        ``evict_breaker=False`` (the default) is for *temporary*
+        darkness -- a crashed shard keeps its breaker state because the
+        open breaker is live health information for callers.  Pass
+        ``True`` when the endpoint is decommissioned for good, so the
+        board does not grow unboundedly as endpoints come and go.
+        """
         self._endpoints.pop(name, None)
+        if evict_breaker and self.breakers is not None:
+            self.breakers.evict(name)
 
     def endpoints(self) -> Dict[str, Endpoint]:
         return dict(self._endpoints)

@@ -238,6 +238,17 @@ class BreakerBoard:
         """Administratively close ``target``'s breaker (service restored)."""
         self.breaker(target).reset()
 
+    def evict(self, target: str) -> bool:
+        """Forget ``target``'s breaker entirely (endpoint decommissioned).
+
+        Distinct from :meth:`reset`: a reset keeps the entry because the
+        endpoint is expected back; eviction is for endpoints that are
+        gone for good, so a long-lived campus that adds and removes
+        buildings does not accumulate breaker state without bound.
+        Returns whether an entry existed.
+        """
+        return self._breakers.pop(target, None) is not None
+
     def states(self) -> Dict[str, str]:
         return {target: b.state for target, b in sorted(self._breakers.items())}
 

@@ -1,0 +1,1005 @@
+"""The rebalance scenario: elastic campus membership under faults.
+
+A three-building campus runs its usual workload (capture ticks,
+CRITICAL policy fetches, NORMAL locates routed through the federation
+router, DEFERRABLE discovery sweeps), then the topology changes twice:
+
+1. **Join**: a fourth building comes up and joins the hash ring.  The
+   ring hands back a migration delta and a
+   :class:`~repro.federation.rebalance.RebalanceCoordinator` migrates
+   each displaced user with the two-phase, WAL-journaled protocol --
+   under the ``ring-change`` fault plan, which partitions one
+   migration's finalize acknowledgement away (the user stays mid-flight,
+   served fail-closed through forwarding) and crashes the destination
+   shard right after another migration's import committed (recovery must
+   take the journal-proved finalize-only path).
+2. **Drain**: the oldest building leaves the ring, its users migrate
+   out cleanly, and the emptied shard is decommissioned for good --
+   endpoints off the bus with breaker eviction, unknown-building calls
+   afterwards rejected and counted.
+
+While migrations are in flight the scenario keeps probing: every
+forwarded decision must carry a ``migrating:<from>:<to>`` marker in
+both the response and the audit record (counted for exact equality:
+zero lost, zero duplicated), every probe at a dark destination must
+fail rather than answer (fail-closed), and a campus DSAR lands on a
+*mid-migration* subject -- after which no shard, journal entry, or
+compacted segment may ever resurrect their observations.
+
+The report carries only counts and booleans, so two same-seed runs
+render byte-identical text (the ``rebalance`` CLI and CI diff them),
+and :attr:`RebalanceReport.violations` machine-checks the acceptance
+invariants.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policy import catalog
+from repro.errors import (
+    AdmissionShedError,
+    FederationError,
+    NetworkError,
+    SimulatedCrash,
+)
+from repro.faults import FaultInjector, build_plan
+from repro.federation import (
+    Campus,
+    RebalanceCoordinator,
+    campus_access_report,
+    campus_erase_subject,
+)
+from repro.net.admission import AdmissionController
+from repro.net.bus import RpcError
+from repro.net.resilience import Deadline, RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.simulation.inhabitants import Inhabitant, generate_inhabitants
+from repro.simulation.mobility import BuildingWorld
+from repro.simulation.overload import ClassOutcome
+from repro.storage.recovery import RecoveryReport, recover
+
+DEFAULT_BUILDINGS = ("bldg-a", "bldg-b", "bldg-c")
+DEFAULT_NEW_BUILDING = "bldg-d"
+
+#: The marker prefix every forwarded mid-migration decision carries.
+MIGRATING_MARKER_PREFIX = "migrating:"
+
+
+@dataclass
+class RebalanceReport:
+    """Everything one rebalance run produced, rendered deterministically."""
+
+    plan: str
+    seed: int
+    population: int
+    ticks: int
+    buildings: List[str] = field(default_factory=list)
+    new_building: str = ""
+    drained_building: str = ""
+    residents_by_building: Dict[str, int] = field(default_factory=dict)
+    final_residents_by_building: Dict[str, int] = field(default_factory=dict)
+    ring_version: int = 1
+    # Migration waves
+    wave1_planned: int = 0
+    wave2_planned: int = 0
+    migration_stats: Dict[str, int] = field(default_factory=dict)
+    pending_remaining: int = 0
+    observations_moved: int = 0
+    preferences_moved: int = 0
+    # Crash + journal-guided resumption
+    crashed: bool = False
+    crash_building: str = ""
+    crash_step: int = -1
+    recovered: bool = False
+    recovery: Optional[RecoveryReport] = None
+    journal_entries: int = 0
+    # Mid-migration forwarding
+    forwarded_responses: int = 0
+    marked_responses: int = 0
+    unmarked_responses: int = 0
+    marked_audit: int = 0
+    # Fail-closed probes at the dark destination
+    failclosed_probes: int = 0
+    failclosed_denied: int = 0
+    failclosed_allows: int = 0
+    # Mid-migration DSAR
+    dsar_subject: str = ""
+    dsar_mid_flight: bool = False
+    dsar_buildings: List[str] = field(default_factory=list)
+    dsar_observations: int = 0
+    dsar_decisions: int = 0
+    dsar_erased: int = 0
+    dsar_withdrawn: int = 0
+    dsar_compacted: List[str] = field(default_factory=list)
+    dsar_unreachable: List[str] = field(default_factory=list)
+    # Decommissioning
+    decommissioned: List[str] = field(default_factory=list)
+    unknown_probes: int = 0
+    unknown_rejections: int = 0
+    breaker_entries_left: int = 0
+    # Assistant re-homing
+    rehomed_assistants: int = 0
+    rehome_pushed: int = 0
+    rehome_pending: int = 0
+    # Workload classes
+    critical: ClassOutcome = field(default_factory=ClassOutcome)
+    normal: ClassOutcome = field(default_factory=ClassOutcome)
+    deferrable: ClassOutcome = field(default_factory=ClassOutcome)
+    # Shared-plane accounting
+    ledger_checked: int = 0
+    ledger_admitted: int = 0
+    ledger_shed: int = 0
+    stored_by_building: Dict[str, int] = field(default_factory=dict)
+    bus_attempts: int = 0
+    bus_logical_calls: int = 0
+    bus_retries: int = 0
+    bus_shed: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    # End-of-run physical sweep (standalone recovery reader)
+    swept_shards: int = 0
+    resurrected: int = 0
+    journal_snapshots_with_subject: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "population": self.population,
+            "ticks": self.ticks,
+            "buildings": list(self.buildings),
+            "new_building": self.new_building,
+            "drained_building": self.drained_building,
+            "residents_by_building": dict(self.residents_by_building),
+            "final_residents_by_building": dict(
+                self.final_residents_by_building
+            ),
+            "ring_version": self.ring_version,
+            "waves": {
+                "wave1_planned": self.wave1_planned,
+                "wave2_planned": self.wave2_planned,
+                "stats": dict(self.migration_stats),
+                "pending_remaining": self.pending_remaining,
+                "observations_moved": self.observations_moved,
+                "preferences_moved": self.preferences_moved,
+            },
+            "crash": {
+                "crashed": self.crashed,
+                "building": self.crash_building,
+                "step": self.crash_step,
+                "recovered": self.recovered,
+                "recovery": None
+                if self.recovery is None
+                else self.recovery.to_dict(),
+                "journal_entries": self.journal_entries,
+            },
+            "forwarding": {
+                "responses": self.forwarded_responses,
+                "marked": self.marked_responses,
+                "unmarked": self.unmarked_responses,
+                "marked_audit_records": self.marked_audit,
+            },
+            "fail_closed": {
+                "probes": self.failclosed_probes,
+                "denied": self.failclosed_denied,
+                "allows": self.failclosed_allows,
+            },
+            "dsar": {
+                "subject": self.dsar_subject,
+                "mid_flight": self.dsar_mid_flight,
+                "buildings": list(self.dsar_buildings),
+                "observations": self.dsar_observations,
+                "decisions": self.dsar_decisions,
+                "erased": self.dsar_erased,
+                "withdrawn": self.dsar_withdrawn,
+                "compacted": list(self.dsar_compacted),
+                "unreachable": list(self.dsar_unreachable),
+            },
+            "decommission": {
+                "decommissioned": list(self.decommissioned),
+                "unknown_probes": self.unknown_probes,
+                "unknown_rejections": self.unknown_rejections,
+                "breaker_entries_left": self.breaker_entries_left,
+            },
+            "rehome": {
+                "assistants": self.rehomed_assistants,
+                "pushed": self.rehome_pushed,
+                "pending": self.rehome_pending,
+            },
+            "classes": {
+                "critical": self.critical.to_dict(),
+                "normal": self.normal.to_dict(),
+                "deferrable": self.deferrable.to_dict(),
+            },
+            "ledger": {
+                "checked": self.ledger_checked,
+                "admitted": self.ledger_admitted,
+                "shed": self.ledger_shed,
+            },
+            "stored_by_building": dict(self.stored_by_building),
+            "bus": {
+                "attempts": self.bus_attempts,
+                "logical_calls": self.bus_logical_calls,
+                "retries": self.bus_retries,
+                "shed": self.bus_shed,
+            },
+            "fault_counts": dict(self.fault_counts),
+            "sweep": {
+                "shards": self.swept_shards,
+                "resurrected": self.resurrected,
+                "journal_snapshots_with_subject":
+                    self.journal_snapshots_with_subject,
+            },
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def summary_lines(self) -> List[str]:
+        stats = self.migration_stats
+        lines = [
+            "rebalance run: plan=%s seed=%d population=%d ticks=%d "
+            "buildings=%d" % (self.plan, self.seed, self.population,
+                              self.ticks, len(self.buildings)),
+            "topology: joined=%s drained=%s ring_version=%d"
+            % (self.new_building, self.drained_building, self.ring_version),
+            "residents before: "
+            + ", ".join(
+                "%s=%d" % (b, n)
+                for b, n in sorted(self.residents_by_building.items())
+            ),
+            "residents after:  "
+            + ", ".join(
+                "%s=%d" % (b, n)
+                for b, n in sorted(self.final_residents_by_building.items())
+            ),
+            "waves: wave1=%d wave2=%d pending_left=%d"
+            % (self.wave1_planned, self.wave2_planned,
+               self.pending_remaining),
+            "migrations: "
+            + ", ".join(
+                "%s=%d" % (key, stats[key]) for key in sorted(stats)
+            ),
+            "moved: observations=%d preferences=%d"
+            % (self.observations_moved, self.preferences_moved),
+            "crash: crashed=%s building=%s step=%d recovered=%s "
+            "journal_entries=%d"
+            % (self.crashed, self.crash_building or "none", self.crash_step,
+               self.recovered, self.journal_entries),
+        ]
+        if self.recovery is not None:
+            lines.extend(self.recovery.lines())
+        lines.extend([
+            "forwarding: responses=%d marked=%d unmarked=%d marked_audit=%d"
+            % (self.forwarded_responses, self.marked_responses,
+               self.unmarked_responses, self.marked_audit),
+            "fail-closed: probes=%d denied=%d allows=%d"
+            % (self.failclosed_probes, self.failclosed_denied,
+               self.failclosed_allows),
+            "dsar: subject=%s mid_flight=%s buildings=[%s] observations=%d "
+            "decisions=%d"
+            % (self.dsar_subject or "none", self.dsar_mid_flight,
+               ", ".join(self.dsar_buildings), self.dsar_observations,
+               self.dsar_decisions),
+            "dsar erase: erased=%d withdrawn=%d compacted=[%s] "
+            "unreachable=[%s]"
+            % (self.dsar_erased, self.dsar_withdrawn,
+               ", ".join(self.dsar_compacted),
+               ", ".join(self.dsar_unreachable)),
+            "decommission: gone=[%s] unknown_probes=%d rejections=%d "
+            "breaker_entries_left=%d"
+            % (", ".join(self.decommissioned), self.unknown_probes,
+               self.unknown_rejections, self.breaker_entries_left),
+            "rehome: assistants=%d pushed=%d pending=%d"
+            % (self.rehomed_assistants, self.rehome_pushed,
+               self.rehome_pending),
+            "critical:   attempted=%d completed=%d shed=%d failed=%d"
+            % (self.critical.attempted, self.critical.completed,
+               self.critical.shed, self.critical.failed),
+            "normal:     attempted=%d completed=%d shed=%d failed=%d"
+            % (self.normal.attempted, self.normal.completed,
+               self.normal.shed, self.normal.failed),
+            "deferrable: attempted=%d completed=%d shed=%d failed=%d"
+            % (self.deferrable.attempted, self.deferrable.completed,
+               self.deferrable.shed, self.deferrable.failed),
+            "admission ledger: checked=%d admitted=%d shed=%d"
+            % (self.ledger_checked, self.ledger_admitted, self.ledger_shed),
+            "stored: "
+            + ", ".join(
+                "%s=%d" % (b, n)
+                for b, n in sorted(self.stored_by_building.items())
+            ),
+            "bus: attempts=%d logical=%d retries=%d shed=%d"
+            % (self.bus_attempts, self.bus_logical_calls, self.bus_retries,
+               self.bus_shed),
+            "sweep: shards=%d resurrected=%d journal_snapshots=%d"
+            % (self.swept_shards, self.resurrected,
+               self.journal_snapshots_with_subject),
+        ])
+        fired = ", ".join(
+            "%s=%d" % (kind, count)
+            for kind, count in sorted(self.fault_counts.items())
+        )
+        lines.append("faults fired: %s" % (fired or "none"))
+        for violation in self.violations:
+            lines.append("VIOLATION: %s" % violation)
+        lines.append("result: %s" % ("OK" if self.ok else "FAILED"))
+        return lines
+
+    @property
+    def report_text(self) -> str:
+        return "".join(line + "\n" for line in self.summary_lines())
+
+
+class _Run:
+    """Mutable state one rebalance run threads through its helpers."""
+
+    def __init__(
+        self,
+        campus: Campus,
+        report: RebalanceReport,
+        coordinator: RebalanceCoordinator,
+        retry_policy: RetryPolicy,
+        injector: FaultInjector,
+        worlds: Dict[str, BuildingWorld],
+        building_of: Dict[str, str],
+        now: float,
+    ) -> None:
+        self.campus = campus
+        self.report = report
+        self.coordinator = coordinator
+        self.retry_policy = retry_policy
+        self.injector = injector
+        self.worlds = worlds
+        #: user -> the building they are *physically* in (people do not
+        #: move in this scenario; their data does).
+        self.building_of = building_of
+        self.now = now
+        self.erase_now = -1.0
+        #: user -> IoTAssistant; populated by ``_run`` before tick 0.
+        self.assistants: Dict[str, Any] = {}
+
+    def call(
+        self,
+        outcome: ClassOutcome,
+        target: str,
+        method: str,
+        payload: Dict[str, Any],
+        principal: str,
+    ) -> Optional[Dict[str, Any]]:
+        """One accounted workload call to a bus endpoint."""
+        outcome.attempted += 1
+        try:
+            response = self.campus.bus.call(
+                target,
+                method,
+                payload,
+                retry_policy=self.retry_policy,
+                deadline=Deadline(10.0),
+                principal=principal,
+            )
+        except AdmissionShedError:
+            outcome.shed += 1
+            return None
+        except (RpcError, NetworkError):
+            outcome.failed += 1
+            return None
+        outcome.completed += 1
+        return response
+
+    def locate(self, user_id: str) -> Optional[Dict[str, Any]]:
+        """One NORMAL locate routed through the federation router.
+
+        A mid-migration subject's call is forwarded to the new home with
+        the ``migrating:`` marker; the response's reasons are checked so
+        an unmarked forwarded decision is caught, not silently passed.
+        """
+        report = self.report
+        migration = self.campus.router.migration_of(user_id)
+        report.normal.attempted += 1
+        try:
+            response = self.campus.router.call_home(
+                user_id,
+                "locate_user",
+                {
+                    "requester_id": "svc-occupancy",
+                    "requester_kind": "building_service",
+                    "subject_id": user_id,
+                    "now": self.now,
+                },
+                principal="svc-occupancy",
+            )
+        except AdmissionShedError:
+            report.normal.shed += 1
+            return None
+        except (RpcError, NetworkError, FederationError):
+            report.normal.failed += 1
+            return None
+        report.normal.completed += 1
+        if migration is not None:
+            report.forwarded_responses += 1
+            if any(
+                reason.startswith(MIGRATING_MARKER_PREFIX)
+                for reason in response["reasons"]
+            ):
+                report.marked_responses += 1
+            else:
+                report.unmarked_responses += 1
+        return response
+
+    def tick(self) -> None:
+        """One deterministic workload tick; advances simulated time."""
+        campus = self.campus
+        report = self.report
+        now = self.now
+        live = {shard.building_id: shard for shard in campus.shards()}
+        for building_id in sorted(self.worlds):
+            self.worlds[building_id].step(now)
+        for building_id in sorted(self.worlds):
+            shard = live.get(building_id)
+            if shard is None or shard.down:
+                continue
+            shard.tippers.tick(now, self.worlds[building_id])
+        for user_id in sorted(self.building_of):
+            building_id = self.building_of[user_id]
+            shard = live.get(building_id)
+            if shard is None or shard.down:
+                continue
+            if self.worlds[building_id].location_of(user_id) is not None:
+                campus.record_presence(user_id, building_id)
+        for building_id in sorted(live):
+            if live[building_id].down:
+                continue
+            self.call(
+                report.critical,
+                live[building_id].endpoint,
+                "get_policy_document",
+                {},
+                "svc-policy-sync",
+            )
+        for user_id in sorted(campus.home_of):
+            self.locate(user_id)
+        for user_id in sorted(self.assistants):
+            home = campus.home_of[user_id]
+            shard = live.get(home)
+            if shard is None:
+                continue
+            self.call(
+                report.deferrable,
+                shard.registry_endpoint,
+                "discover",
+                {"space_id": home},
+                "iota-%s" % user_id,
+            )
+        self.now += 60.0
+
+    def dark_probes(self) -> None:
+        """Probe every mid-migration principal while the destination is
+        dark: any answer at all is a fail-open leak."""
+        report = self.report
+        for user_id in self.campus.router.migrating_principals():
+            report.failclosed_probes += 1
+            try:
+                self.campus.router.call_home(
+                    user_id,
+                    "locate_user",
+                    {
+                        "requester_id": "svc-occupancy",
+                        "requester_kind": "building_service",
+                        "subject_id": user_id,
+                        "now": self.now,
+                    },
+                    principal="svc-occupancy",
+                )
+            except (RpcError, NetworkError, AdmissionShedError):
+                report.failclosed_denied += 1
+                continue
+            report.failclosed_allows += 1
+
+
+def run_rebalance_scenario(
+    plan_name: str = "ring-change",
+    seed: int = 23,
+    population: int = 24,
+    ticks: int = 12,
+    buildings: Sequence[str] = DEFAULT_BUILDINGS,
+    new_building: str = DEFAULT_NEW_BUILDING,
+    directory: Optional[str] = None,
+    segment_bytes: int = 8 * 1024,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RebalanceReport:
+    """Run the elastic-membership scenario under ``plan_name``.
+
+    When ``directory`` is omitted a temporary storage root is created
+    and removed afterwards; pass one to keep each shard's WAL directory
+    for inspection.  ``metrics`` (optional) receives the run's
+    instrumentation -- the bench harness reads decision latency and WAL
+    bytes from it.
+    """
+    buildings = sorted(buildings)
+    report = RebalanceReport(
+        plan=plan_name,
+        seed=seed,
+        population=population,
+        ticks=ticks,
+        buildings=list(buildings),
+        new_building=new_building,
+        drained_building=buildings[0],
+    )
+    owns_directory = directory is None
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="repro-rebalance-")
+    try:
+        _run(report, plan_name, seed, population, ticks, list(buildings),
+             new_building, directory, segment_bytes, metrics)
+    finally:
+        if owns_directory:
+            shutil.rmtree(directory, ignore_errors=True)
+    return report
+
+
+def _partition_population(
+    campus: Campus, population: int, seed: int
+) -> Dict[str, List[Inhabitant]]:
+    """Ring-partition a campus-global population into shard residents."""
+    user_ids = ["campus-user-%04d" % index for index in range(1, population + 1)]
+    by_building: Dict[str, List[str]] = {b: [] for b in campus.building_ids()}
+    for user_id in user_ids:
+        by_building[campus.router.home_building(user_id)].append(user_id)
+    residents: Dict[str, List[Inhabitant]] = {}
+    for building_id in sorted(by_building):
+        ids = by_building[building_id]
+        shard = campus.shard(building_id)
+        residents[building_id] = generate_inhabitants(
+            shard.spatial,
+            len(ids),
+            seed=seed,
+            building_id=building_id,
+            user_ids=ids,
+        )
+        for inhabitant in residents[building_id]:
+            campus.add_resident(building_id, inhabitant.profile)
+    return residents
+
+
+def _run(
+    report: RebalanceReport,
+    plan_name: str,
+    seed: int,
+    population: int,
+    ticks: int,
+    buildings: List[str],
+    new_building: str,
+    directory: str,
+    segment_bytes: int,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    from repro.iota.assistant import IoTAssistant
+
+    if metrics is None:
+        metrics = MetricsRegistry()
+    controller = AdmissionController(
+        seed=seed,
+        queue_capacity=8,
+        high_watermark=0.5,
+        shed_watermark=0.8,
+        drain_per_step=0.25,
+        principal_capacity=16.0,
+        principal_refill_per_step=1.0,
+        metrics=metrics,
+    )
+    campus = Campus(
+        buildings,
+        seed=seed,
+        storage_root=directory,
+        segment_bytes=segment_bytes,
+        metrics=metrics,
+        admission=controller,
+    )
+    residents = _partition_population(campus, population, seed)
+    report.residents_by_building = {
+        b: len(people) for b, people in residents.items()
+    }
+    worlds = {
+        b: BuildingWorld(campus.shard(b).spatial, residents[b], seed=seed)
+        for b in buildings
+    }
+    building_of = {
+        person.user_id: b
+        for b, people in residents.items()
+        for person in people
+    }
+
+    retry_policy = RetryPolicy(seed=seed)
+    assistants: Dict[str, IoTAssistant] = {}
+    for user_id in sorted(building_of):
+        profile = campus.profile_of(user_id)
+        if not profile.has_iota:
+            continue
+        shard = campus.shard(campus.home_of[user_id])
+        assistants[user_id] = IoTAssistant(
+            user_id,
+            campus.bus,
+            tippers_endpoint=shard.endpoint,
+            registry_endpoints=[shard.registry_endpoint],
+            metrics=metrics,
+            retry_policy=retry_policy,
+        )
+
+    coordinator = RebalanceCoordinator(campus, retry_policy=retry_policy)
+    plan = build_plan(plan_name, seed)
+    # Only the migration plane is installed, so the injector's logical
+    # steps count migration-step consults exactly -- that is what makes
+    # the ring-change plan's windows scale-independent.
+    injector = FaultInjector(plan)
+    injector.install_rebalancer(coordinator)
+
+    noon = 12 * 3600.0
+    run = _Run(campus, report, coordinator, retry_policy, injector,
+               worlds, building_of, noon)
+    run.assistants = assistants
+
+    try:
+        _phases(run, ticks, new_building)
+    finally:
+        injector.uninstall()
+        report.fault_counts = injector.trace.counts()
+        campus.close()
+
+    # ------------------------------------------------------------------
+    # Harvest
+    # ------------------------------------------------------------------
+    report.ring_version = campus.router.ring_version
+    report.migration_stats = dict(coordinator.stats)
+    report.pending_remaining = len(coordinator.pending())
+    report.final_residents_by_building = {
+        shard.building_id: len(shard.residents)
+        for shard in campus.shards()
+    }
+    for shard in campus.shards():
+        report.stored_by_building[shard.building_id] = (
+            shard.tippers.datastore.count()
+        )
+        report.marked_audit += sum(
+            1
+            for record in shard.tippers.audit
+            if any(
+                reason.startswith(MIGRATING_MARKER_PREFIX)
+                for reason in record.reasons
+            )
+        )
+    if campus.bus.breakers is not None:
+        states = campus.bus.breakers.states()
+        report.breaker_entries_left = sum(
+            1
+            for target in states
+            if target.endswith("-" + report.drained_building)
+            or target == "tippers-%s" % report.drained_building
+            or target == "irr-%s" % report.drained_building
+        )
+    report.unknown_rejections = int(
+        metrics.total("federation_unknown_building_total")
+    )
+    stats = campus.bus.stats
+    report.bus_attempts = stats.calls
+    report.bus_logical_calls = stats.logical_calls
+    report.bus_retries = stats.retries
+    report.bus_shed = stats.shed
+    ledger = controller.ledger
+    report.ledger_checked = ledger.checked
+    report.ledger_admitted = ledger.admitted
+    report.ledger_shed = ledger.shed
+
+    # ------------------------------------------------------------------
+    # Physical-absence sweep: every storage directory on disk (the
+    # decommissioned building's included) is re-opened with the
+    # standalone recovery reader; neither the datastore nor any
+    # journaled migration snapshot may still hold the erased subject.
+    # ------------------------------------------------------------------
+    if report.dsar_subject and run.erase_now >= 0:
+        end_now = run.now
+        for name in sorted(os.listdir(directory)):
+            shard_dir = os.path.join(directory, name)
+            if not os.path.isdir(shard_dir):
+                continue
+            state = recover(shard_dir, now=end_now)
+            report.swept_shards += 1
+            report.resurrected += sum(
+                1
+                for obs in state.datastore.query(subject_id=report.dsar_subject)
+                if obs.timestamp <= run.erase_now
+            )
+            for entry in state.migrations.values():
+                snapshot = entry.get("snapshot")
+                if (
+                    entry.get("user_id") == report.dsar_subject
+                    and isinstance(snapshot, dict)
+                    and snapshot.get("observations")
+                ):
+                    report.journal_snapshots_with_subject += 1
+
+    _check_invariants(report)
+
+
+def _phases(run: _Run, ticks: int, new_building: str) -> None:
+    """The scripted phases: warm-up, join wave, DSAR, drain, final."""
+    campus = run.campus
+    report = run.report
+    warm_ticks = max(2, ticks // 3)
+    final_ticks = max(2, ticks - warm_ticks - 4)
+
+    # Phase 0: explicit preferences for migrations to carry.  Office
+    # holders hide their office occupancy after-hours -- active policy
+    # state that must survive the move byte-for-byte, without
+    # suppressing the noon-time capture this scenario runs on.
+    for user_id in sorted(run.assistants):
+        profile = campus.profile_of(user_id)
+        if profile.office_id is None:
+            continue
+        try:
+            run.assistants[user_id].submit_preference(
+                catalog.preference_1_office_after_hours(
+                    user_id, profile.office_id
+                )
+            )
+        except (RpcError, NetworkError):
+            pass
+
+    # Phase 1: warm-up.
+    for _ in range(warm_ticks):
+        run.tick()
+
+    # Phase 2: the join wave, under partition and crash.
+    delta = campus.add_building(new_building)
+    migrations = run.coordinator.plan_for_delta(delta)
+    report.wave1_planned = len(migrations)
+    _drive_wave(run, migrations)
+
+    # Phase 3: one mid-campus interlude tick on the enlarged ring.
+    run.tick()
+
+    # Phase 4: the drain wave (fault windows are long closed), then
+    # decommissioning and the counted unknown-building rejection.
+    drained = report.drained_building
+    delta2 = campus.drain_building(drained)
+    migrations2 = run.coordinator.plan_for_delta(delta2)
+    report.wave2_planned = len(migrations2)
+    _drive_wave(run, migrations2)
+    campus.decommission_building(drained)
+    report.decommissioned = list(campus.decommissioned)
+    for _ in range(2):
+        report.unknown_probes += 1
+        try:
+            campus.router.call_building(
+                drained, "get_policy_document", {}, principal="svc-policy-sync"
+            )
+        except FederationError:
+            pass
+
+    # Phase 5: re-home the assistants of every migrated user.
+    for user_id in sorted(run.assistants):
+        shard = campus.shard(campus.home_of[user_id])
+        assistant = run.assistants[user_id]
+        if assistant.tippers_endpoint == shard.endpoint:
+            continue
+        try:
+            pushed = assistant.rehome(
+                shard.endpoint, shard.registry_endpoint
+            )
+        except (RpcError, NetworkError):
+            continue
+        report.rehomed_assistants += 1
+        report.rehome_pushed += pushed["preferences_pushed"]
+        report.rehome_pending += pushed["preferences_pending"]
+
+    # Phase 6: the rebalanced campus keeps serving.
+    for _ in range(final_ticks):
+        run.tick()
+
+
+def _drive_wave(run: _Run, migrations: List[Any]) -> None:
+    """Drive one wave of migrations through faults to convergence."""
+    campus = run.campus
+    report = run.report
+    coordinator = run.coordinator
+    for migration in migrations:
+        try:
+            outcome = coordinator.migrate(migration)
+        except SimulatedCrash:
+            _handle_crash(run)
+            continue
+        _absorb(report, outcome)
+    # Partitioned (acknowledgement-lost) migrations retry after a tick
+    # of mid-flight traffic -- which is exactly when the forwarding
+    # markers are exercised.
+    rounds = 0
+    while coordinator.pending() and rounds < 4:
+        run.tick()
+        for outcome in coordinator.retry_pending():
+            _absorb(report, outcome)
+        rounds += 1
+
+
+def _handle_crash(run: _Run) -> None:
+    """The crash choreography: dark probes, recovery, DSAR, resume."""
+    campus = run.campus
+    report = run.report
+    coordinator = run.coordinator
+    victim = coordinator.crashed_building
+    assert victim is not None
+    report.crashed = True
+    report.crash_building = victim
+    report.crash_step = run.injector.step - 1
+    campus.mark_down(victim)
+    # Fail-closed: while the destination is dark, every mid-migration
+    # principal's forwarded call must fail, never answer.
+    run.dark_probes()
+    run.tick()
+    run.dark_probes()
+    # Recovery: the shard rebuilds from its WAL; its replayed migration
+    # journal says how far each migration durably got.
+    report.recovery = campus.recover_shard(victim, run.now)
+    report.recovered = True
+    journal = campus.shard(victim).tippers.recovered_migrations
+    report.journal_entries = len(journal)
+    # One live mid-flight tick: pending users are still marked, both
+    # shards are up -- forwarded decisions flow, each carrying a marker.
+    run.tick()
+    # The DSAR lands on a *mid-migration* subject, then the coordinator
+    # resumes from the journal; a resumed import may never re-create
+    # what the erasure just removed.
+    _run_dsar(run)
+    for outcome in coordinator.resume_with_journal(journal):
+        _absorb(report, outcome)
+
+
+def _run_dsar(run: _Run) -> None:
+    """The campus DSAR cycle against a mid-migration subject."""
+    campus = run.campus
+    report = run.report
+    pending = run.coordinator.pending()
+    if pending:
+        subject = pending[0][0].user_id
+    else:
+        migrating = campus.router.migrating_principals()
+        subject = migrating[0] if migrating else sorted(campus.home_of)[0]
+    report.dsar_subject = subject
+    report.dsar_mid_flight = campus.router.migration_of(subject) is not None
+    run.erase_now = run.now + 0.5
+    access = campus_access_report(campus, subject, run.now)
+    report.dsar_buildings = list(access.buildings)
+    report.dsar_observations = access.observations_total
+    report.dsar_decisions = access.decisions_total
+    report.dsar_unreachable = list(access.unreachable)
+    receipt = campus_erase_subject(
+        campus, subject, run.erase_now,
+        withdraw_preferences=True, compact_storage=True,
+    )
+    report.dsar_erased = receipt.erased_observations
+    report.dsar_withdrawn = receipt.withdrawn_preferences
+    report.dsar_compacted = list(receipt.compacted_buildings)
+    for building in receipt.unreachable:
+        if building not in report.dsar_unreachable:
+            report.dsar_unreachable.append(building)
+
+
+def _absorb(report: RebalanceReport, outcome: Any) -> None:
+    if outcome is None:
+        return
+    report.observations_moved += outcome.observations_moved
+    report.preferences_moved += outcome.preferences_moved
+
+
+def _check_invariants(report: RebalanceReport) -> None:
+    """The acceptance invariants, machine-checked into ``violations``."""
+    stats = report.migration_stats
+    if report.bus_attempts != report.bus_logical_calls + report.bus_retries:
+        report.violations.append(
+            "bus accounting: attempts (%d) != logical (%d) + retries (%d)"
+            % (report.bus_attempts, report.bus_logical_calls,
+               report.bus_retries)
+        )
+    if report.critical.shed or report.critical.failed:
+        report.violations.append(
+            "CRITICAL calls shed or failed (shed=%d failed=%d)"
+            % (report.critical.shed, report.critical.failed)
+        )
+    if report.ring_version != 3:
+        report.violations.append(
+            "ring version %d after one join and one drain; expected 3"
+            % report.ring_version
+        )
+    if report.wave1_planned < 3:
+        report.violations.append(
+            "join wave planned %d migration(s); the ring-change windows "
+            "need at least 3" % report.wave1_planned
+        )
+    if report.fault_counts.get("cutover_partition", 0) != 1:
+        report.violations.append(
+            "cutover_partition fired %d time(s); expected exactly 1"
+            % report.fault_counts.get("cutover_partition", 0)
+        )
+    if report.fault_counts.get("crash_mid_migration", 0) != 1:
+        report.violations.append(
+            "crash_mid_migration fired %d time(s); expected exactly 1"
+            % report.fault_counts.get("crash_mid_migration", 0)
+        )
+    if not report.crashed or not report.recovered:
+        report.violations.append(
+            "crash/recovery did not complete (crashed=%s recovered=%s)"
+            % (report.crashed, report.recovered)
+        )
+    if report.journal_entries < 2:
+        report.violations.append(
+            "recovered migration journal held %d entr(ies); expected the "
+            "partitioned and crashed migrations both journaled"
+            % report.journal_entries
+        )
+    converged = (
+        stats.get("completed", 0) + stats.get("already_finalized", 0)
+    )
+    if converged != stats.get("planned", 0) or report.pending_remaining:
+        report.violations.append(
+            "migrations did not converge: planned=%d converged=%d pending=%d"
+            % (stats.get("planned", 0), converged, report.pending_remaining)
+        )
+    if report.forwarded_responses == 0:
+        report.violations.append("no forwarded mid-migration decisions served")
+    if report.unmarked_responses:
+        report.violations.append(
+            "%d forwarded decision(s) lacked the migrating: marker"
+            % report.unmarked_responses
+        )
+    if report.marked_responses != report.marked_audit:
+        report.violations.append(
+            "decision ledger: %d marked responses but %d marked audit "
+            "records (lost or duplicated decisions)"
+            % (report.marked_responses, report.marked_audit)
+        )
+    if report.failclosed_probes == 0:
+        report.violations.append("no fail-closed probes ran at the dark shard")
+    if report.failclosed_allows:
+        report.violations.append(
+            "%d probe(s) were answered while the destination was dark "
+            "(fail-open)" % report.failclosed_allows
+        )
+    if not report.dsar_mid_flight:
+        report.violations.append("the DSAR subject was not mid-migration")
+    if report.dsar_erased == 0:
+        report.violations.append("DSAR erasure removed no observations")
+    if len(report.dsar_buildings) < 2:
+        report.violations.append(
+            "DSAR fan-out reached %d building(s); a mid-migration subject "
+            "spans at least 2" % len(report.dsar_buildings)
+        )
+    if report.resurrected or report.journal_snapshots_with_subject:
+        report.violations.append(
+            "post-DSAR resurrection: %d observation(s), %d journal "
+            "snapshot(s) still hold the subject"
+            % (report.resurrected, report.journal_snapshots_with_subject)
+        )
+    if report.decommissioned != [report.drained_building]:
+        report.violations.append(
+            "decommissioned=[%s]; expected [%s]"
+            % (", ".join(report.decommissioned), report.drained_building)
+        )
+    if report.unknown_rejections < report.unknown_probes:
+        report.violations.append(
+            "unknown-building rejections (%d) below probes (%d)"
+            % (report.unknown_rejections, report.unknown_probes)
+        )
+    if report.breaker_entries_left:
+        report.violations.append(
+            "%d breaker entr(ies) survived decommissioning"
+            % report.breaker_entries_left
+        )
+    if report.rehomed_assistants == 0:
+        report.violations.append("no assistants were re-homed after the moves")

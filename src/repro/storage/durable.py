@@ -120,6 +120,18 @@ class StorageEngine:
         """
         return self.log(records.TABLE, data)
 
+    def log_migration(self, data: Dict[str, Any]) -> Optional[int]:
+        """Journal one phase of a cross-shard user migration.
+
+        ``data`` carries ``migration_id``/``user_id``/``from``/``to``/
+        ``phase`` (plus the frozen snapshot on the ``copy`` phase).
+        Replay surfaces the latest phase per migration id so a restarted
+        shard can resume or roll back an in-flight migration; a DSAR
+        erasure replayed after the copy strips the journaled snapshot so
+        erased observations can never be resurrected from the journal.
+        """
+        return self.log(records.MIGRATION, data)
+
     # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------

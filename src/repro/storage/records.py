@@ -16,6 +16,9 @@ Record types:
 ``table``               a compiled enforcement decision table (advisory
                         cache artifact; latest wins, dropped by
                         compaction)
+``migration``           one phase of a cross-shard user migration
+                        (journal entry; latest phase per migration id
+                        wins on replay)
 ======================  ================================================
 """
 
@@ -32,8 +35,9 @@ AUDIT = "audit"
 PREF = "pref"
 PREF_WITHDRAW_ALL = "pref_withdraw_all"
 TABLE = "table"
+MIGRATION = "migration"
 
-RECORD_TYPES = (OBS, ERASE, AUDIT, PREF, PREF_WITHDRAW_ALL, TABLE)
+RECORD_TYPES = (OBS, ERASE, AUDIT, PREF, PREF_WITHDRAW_ALL, TABLE, MIGRATION)
 
 
 def encode_record(record_type: str, data: Dict[str, Any]) -> bytes:

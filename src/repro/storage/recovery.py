@@ -122,6 +122,11 @@ class RecoveredState:
     #: (advisory: adopt via ``import_table``, which skips shards whose
     #: version stamps no longer match the live store), or ``None``.
     compiled_table: Optional[Dict[str, Any]] = None
+    #: Cross-shard migration journal: ``migration_id`` -> the latest
+    #: journaled phase record.  A rebalance coordinator consults this to
+    #: resume (dest journal shows ``committed``) or re-run (journal
+    #: stuck at ``copy``) an in-flight migration after a shard crash.
+    migrations: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 def is_storage_directory(directory: str) -> bool:
@@ -202,6 +207,7 @@ def replay_directory(
         preferences=ordered,
         report=report,
         compiled_table=extras.get("compiled_table"),
+        migrations=extras.get("migrations", {}),
     )
 
 
@@ -227,6 +233,14 @@ def _apply_frame(
         report.erased_observations += datastore._apply_forget(subject_id)
         for key in [k for k in preferences if k[0] == subject_id]:
             del preferences[key]
+        # An erasure replayed after a migration copy also strips the
+        # journaled snapshot: a resumed migration must never restore
+        # (resurrect) observations the subject asked to be forgotten.
+        for entry in extras.get("migrations", {}).values():
+            snapshot = entry.get("snapshot")
+            if entry.get("user_id") == subject_id and isinstance(snapshot, dict):
+                snapshot["observations"] = []
+                entry["snapshot_erased"] = True
     elif record_type == records.AUDIT:
         AuditLog.append(audit, audit_record_from_dict(data))
     elif record_type == records.PREF:
@@ -241,6 +255,14 @@ def _apply_frame(
         # validation) happens in import_table after the rule store is
         # rebuilt.
         extras["compiled_table"] = data
+    elif record_type == records.MIGRATION:
+        migration_id = data.get("migration_id")
+        if not isinstance(migration_id, str) or not migration_id:
+            raise StorageError("migration record without migration_id")
+        # Latest phase per migration id wins: replay order is log order,
+        # so the surviving entry is the furthest phase the shard durably
+        # reached before the crash.
+        extras.setdefault("migrations", {})[migration_id] = dict(data)
 
 
 def recover(

@@ -150,6 +150,11 @@ class TIPPERS(Endpoint):
         #: another building (federation roaming).  Decisions about them
         #: carry a ``roaming:<home>`` marker in reasons and audit.
         self._roaming: Dict[str, str] = {}
+        #: migration_id -> latest journaled phase record, populated by
+        #: :meth:`recover` from the WAL's migration journal.  A
+        #: rebalance coordinator reads this to resume or roll back
+        #: migrations that were in flight when the shard crashed.
+        self.recovered_migrations: Dict[str, Dict[str, Any]] = {}
         self.request_manager = RequestManager(
             self.engine,
             self.inference,
@@ -209,6 +214,182 @@ class TIPPERS(Endpoint):
         """The visitor's home building, or None for locals."""
         return self._roaming.get(user_id)
 
+    def remove_user(self, user_id: str) -> bool:
+        """Forget a user entirely (migration tombstone); idempotent.
+
+        Mirrors :meth:`add_user`: the context's profile map is
+        refreshed and compiled decision rows predating the directory
+        change are dropped.  Returns whether the user was present.
+        """
+        removed = self.directory.remove(user_id) is not None
+        self._roaming.pop(user_id, None)
+        if removed:
+            self.context.user_profiles = self.directory.group_map()
+            invalidate = getattr(self.engine, "invalidate_all", None)
+            if invalidate is not None:
+                invalidate()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Cross-shard migration (federation rebalancing)
+    # ------------------------------------------------------------------
+    def _journal_migration(self, data: Dict[str, Any]) -> None:
+        if self.storage is not None:
+            self.storage.log_migration(data)
+
+    def migrate_export(
+        self, migration_id: str, user_id: str, to_building: str
+    ) -> Dict[str, Any]:
+        """Freeze+copy, source side: snapshot the user's state.
+
+        The snapshot (profile, preferences, datastore rows) is
+        journaled as a ``migration`` WAL record *before* it is returned,
+        and the user's compiled decision rows are evicted -- the source
+        stops serving precompiled decisions for a principal whose
+        preferences may change at the destination mid-flight.  A user
+        already tombstoned here (finalize retried after a crash) exports
+        ``found=False`` so the coordinator can converge idempotently.
+        """
+        from repro.core.policy.serialization import preference_to_dict
+        from repro.users.profile import profile_to_dict
+
+        if user_id not in self.directory:
+            return {"migration_id": migration_id, "user_id": user_id,
+                    "found": False}
+        evict = getattr(self.engine, "invalidate_user", None)
+        table_evicted = False
+        if evict is not None:
+            evict(user_id)
+            table_evicted = True
+        snapshot = {
+            "profile": profile_to_dict(self.directory.get(user_id)),
+            "preferences": [
+                preference_to_dict(p)
+                for p in self.preference_manager.preferences_of(user_id)
+            ],
+            "observations": [
+                o.to_dict() for o in self.datastore.query(subject_id=user_id)
+            ],
+            "table_evicted": table_evicted,
+        }
+        self._journal_migration({
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "from": self.building_id,
+            "to": to_building,
+            "phase": "copy",
+            "role": "source",
+            "snapshot": snapshot,
+        })
+        self.metrics.counter(
+            "tippers_migration_steps_total", {"phase": "export"}
+        ).inc()
+        return {
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "found": True,
+            "snapshot": snapshot,
+        }
+
+    def migrate_import(
+        self,
+        migration_id: str,
+        user_id: str,
+        from_building: str,
+        snapshot: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Freeze+copy then commit, destination side.  Idempotent.
+
+        The snapshot is journaled on *this* shard's WAL before anything
+        is applied (the tentpole's records-on-both-shards rule), so a
+        crash mid-apply leaves a resumable journal.  The apply itself is
+        idempotent: observations are matched by id, preferences are
+        latest-wins, the profile add is skipped when present -- a
+        re-driven import after a crash changes nothing it already did.
+        """
+        from repro.tippers.persistence import observation_from_dict
+        from repro.users.profile import profile_from_dict
+
+        self._journal_migration({
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "from": from_building,
+            "to": self.building_id,
+            "phase": "copy",
+            "role": "dest",
+            "snapshot": snapshot,
+        })
+        profile_data = snapshot.get("profile")
+        if profile_data is not None and user_id not in self.directory:
+            self.add_user(profile_from_dict(profile_data))
+        # This shard is the user's home now; drop any stale visitor mark.
+        self._roaming.pop(user_id, None)
+        existing = {
+            o.observation_id for o in self.datastore.query(subject_id=user_id)
+        }
+        observations_imported = 0
+        for data in snapshot.get("observations", ()):
+            observation = observation_from_dict(data)
+            if observation.observation_id in existing:
+                continue
+            self.datastore.insert(observation)
+            observations_imported += 1
+        preferences_imported = 0
+        for data in snapshot.get("preferences", ()):
+            self.preference_manager.submit(preference_from_dict(data))
+            preferences_imported += 1
+        self._journal_migration({
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "from": from_building,
+            "to": self.building_id,
+            "phase": "committed",
+            "role": "dest",
+        })
+        self.metrics.counter(
+            "tippers_migration_steps_total", {"phase": "import"}
+        ).inc()
+        return {
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "imported": True,
+            "observations_imported": observations_imported,
+            "preferences_imported": preferences_imported,
+            "observations_held": len(self.datastore.query(subject_id=user_id)),
+        }
+
+    def migrate_finalize(
+        self, migration_id: str, user_id: str, to_building: str
+    ) -> Dict[str, Any]:
+        """Tombstone, source side -- only after destination ack.
+
+        Idempotent: every sub-step tolerates being re-run (erasing zero
+        rows, withdrawing zero preferences, removing a missing user).
+        The tombstone is journaled so replay knows the migration left
+        this shard for good.
+        """
+        observations_dropped = self.datastore.forget_subject(user_id)
+        preferences_withdrawn = self.preference_manager.withdraw_all(user_id)
+        removed = self.remove_user(user_id)
+        self._journal_migration({
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "from": self.building_id,
+            "to": to_building,
+            "phase": "tombstone",
+            "role": "source",
+        })
+        self.metrics.counter(
+            "tippers_migration_steps_total", {"phase": "finalize"}
+        ).inc()
+        return {
+            "migration_id": migration_id,
+            "user_id": user_id,
+            "observations_dropped": observations_dropped,
+            "preferences_withdrawn": preferences_withdrawn,
+            "removed": removed,
+        }
+
     def deploy_sensor(
         self,
         sensor_type: str,
@@ -262,6 +443,7 @@ class TIPPERS(Endpoint):
             # keeps the round trip from re-logging.
             for data in state.preferences:
                 self.preference_manager.submit(preference_from_dict(data))
+            self.recovered_migrations = dict(state.migrations)
         finally:
             self.storage.replaying = False
         return state.report
@@ -392,7 +574,27 @@ class TIPPERS(Endpoint):
                 "added": added,
                 "roaming": self.roaming_home_of(profile.user_id) is not None,
             }
+        if method == "migrate_export":
+            return self.migrate_export(
+                payload["migration_id"],
+                payload["user_id"],
+                payload["to_building"],
+            )
+        if method == "migrate_import":
+            return self.migrate_import(
+                payload["migration_id"],
+                payload["user_id"],
+                payload["from_building"],
+                payload["snapshot"],
+            )
+        if method == "migrate_finalize":
+            return self.migrate_finalize(
+                payload["migration_id"],
+                payload["user_id"],
+                payload["to_building"],
+            )
         if method == "locate_user":
+            marker = payload.get("migration_marker")
             response = self.locate_user(
                 payload["requester_id"],
                 RequesterKind(payload.get("requester_kind", "building_service")),
@@ -401,6 +603,7 @@ class TIPPERS(Endpoint):
                 purpose=Purpose(payload.get("purpose", "providing_service")),
                 granularity=GranularityLevel(payload.get("granularity", "precise")),
                 brownout_level=int(payload.get("brownout_level", 0)),
+                extra_notes=(str(marker),) if marker else (),
             )
             value = response.value
             located: Optional[Dict[str, Any]] = None
@@ -416,12 +619,14 @@ class TIPPERS(Endpoint):
                 "reasons": list(response.reasons),
             }
         if method == "room_occupancy":
+            marker = payload.get("migration_marker")
             response = self.room_occupancy(
                 payload["requester_id"],
                 RequesterKind(payload.get("requester_kind", "building_service")),
                 payload["space_id"],
                 payload["now"],
                 purpose=Purpose(payload.get("purpose", "providing_service")),
+                extra_notes=(str(marker),) if marker else (),
             )
             return {
                 "allowed": response.allowed,

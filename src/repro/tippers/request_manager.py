@@ -213,6 +213,7 @@ class RequestManager:
         purpose: Purpose = Purpose.PROVIDING_SERVICE,
         granularity: GranularityLevel = GranularityLevel.PRECISE,
         brownout_level: int = 0,
+        extra_notes: Tuple[str, ...] = (),
     ) -> QueryResponse:
         """Where is ``subject_id`` right now?
 
@@ -225,6 +226,13 @@ class RequestManager:
         (floored at building-level presence) and the decision is audited
         with an explicit degradation marker, so browned-out answers stay
         distinguishable in the audit trail.
+
+        ``extra_notes`` are appended to the decision notes verbatim --
+        the federation router uses this to stamp the
+        ``migrating:<from>:<to>`` marker onto every decision served for
+        a mid-migration subject, so forwarded decisions stay
+        distinguishable in both the response reasons and the audit
+        trail.
         """
         if subject_id not in self._directory:
             raise ServiceError("unknown user %r" % subject_id)
@@ -240,6 +248,7 @@ class RequestManager:
                 "brownout_queries_total", {"method": "locate_user"}
             ).inc()
         notes += self._roaming_notes(subject_id)
+        notes += tuple(extra_notes)
         try:
             estimate = self._inference.locate(subject_id, now)
         except StorageError as exc:
@@ -299,6 +308,7 @@ class RequestManager:
         space_id: str,
         now: float,
         purpose: Purpose = Purpose.PROVIDING_SERVICE,
+        extra_notes: Tuple[str, ...] = (),
     ) -> QueryResponse:
         """Is ``space_id`` occupied?
 
@@ -318,7 +328,9 @@ class RequestManager:
             now,
             purpose,
         )
-        decision = self._engine.decide(request, self._roaming_notes(subject_id))
+        decision = self._engine.decide(
+            request, self._roaming_notes(subject_id) + tuple(extra_notes)
+        )
         if not decision.allowed:
             return QueryResponse.denied(decision.resolution.reasons)
         try:

@@ -92,6 +92,20 @@ class UserDirectory:
             self._mac_owner[mac] = profile.user_id
         return profile
 
+    def remove(self, user_id: str) -> Optional[UserProfile]:
+        """Forget a user (migration tombstone); idempotent.
+
+        Returns the removed profile, or ``None`` when the user was
+        already gone -- the tombstone step of a cross-shard migration
+        must be safely repeatable after a crash.
+        """
+        profile = self._users.pop(user_id, None)
+        if profile is not None:
+            for mac in profile.device_macs:
+                if self._mac_owner.get(mac) == user_id:
+                    del self._mac_owner[mac]
+        return profile
+
     def get(self, user_id: str) -> UserProfile:
         try:
             return self._users[user_id]

@@ -76,7 +76,9 @@ class TestRoundTrip:
             "scale_enforcement", "scale_ingest", "scale_notifications",
             "scale_week", "scale_overload",
         }
-        assert set(OPTIONAL_BENCHMARK_NAMES) == {"scale_federate"}
+        assert set(OPTIONAL_BENCHMARK_NAMES) == {
+            "scale_federate", "scale_rebalance",
+        }
         assert set(BENCHMARK_NAMES) == (
             set(REQUIRED_BENCHMARK_NAMES) | set(OPTIONAL_BENCHMARK_NAMES)
         )

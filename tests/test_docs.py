@@ -370,3 +370,20 @@ class TestFederationDoc:
         readme = (DOCS.parent.parent / "README.md").read_text()
         assert "docs/FEDERATION.md" in readme
         assert "python -m repro federate" in readme
+
+    def test_migration_methods_are_critical(self, federation_text):
+        from repro.net.admission import DEFAULT_METHOD_PRIORITIES, Priority
+
+        for method in (
+            "migrate_export", "migrate_import", "migrate_finalize",
+        ):
+            assert DEFAULT_METHOD_PRIORITIES[method] is Priority.CRITICAL
+            assert "`%s`" % method in federation_text
+
+    def test_rebalance_cli_and_makefile_are_wired(self, federation_text):
+        assert "python -m repro rebalance" in federation_text
+        assert "migrating:<from>:<to>" in federation_text
+        makefile = (DOCS.parent.parent / "Makefile").read_text()
+        assert "rebalance:" in makefile
+        readme = (DOCS.parent.parent / "README.md").read_text()
+        assert "python -m repro rebalance" in readme

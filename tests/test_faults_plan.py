@@ -158,6 +158,7 @@ class TestNamedPlans:
             "lossy",
             "monkey",
             "policy-outage",
+            "ring-change",
             "rush-hour",
             "torn-storage",
         )

@@ -1,0 +1,99 @@
+"""Edge cases of ring membership changes.
+
+The properties a rebalance coordinator leans on: the ring is a pure
+function of its node set (insertion order and intermediate membership
+history are irrelevant), deltas only ever name keys whose owner really
+changed, an add followed by the matching remove is a round trip, and
+degenerate rings (one building, removing the last building) fail
+loudly instead of mis-homing keys.
+"""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import HashRing
+
+KEYS = ["ring-user-%03d" % index for index in range(120)]
+
+
+def test_single_building_ring_owns_everything():
+    ring = HashRing(["solo"])
+    assert ring.assignments(KEYS) == {key: "solo" for key in KEYS}
+    assert ring.version == 1
+
+
+def test_removing_the_last_building_raises():
+    ring = HashRing(["solo"])
+    with pytest.raises(FederationError):
+        ring.remove_building("solo", keys=KEYS)
+    # The failed removal must not have half-mutated the ring.
+    assert ring.nodes() == ("solo",)
+    assert ring.version == 1
+
+
+def test_removing_an_unknown_building_raises():
+    ring = HashRing(["bldg-a", "bldg-b"])
+    with pytest.raises(FederationError):
+        ring.remove_building("bldg-z")
+
+
+def test_adding_a_duplicate_building_raises():
+    ring = HashRing(["bldg-a", "bldg-b"])
+    with pytest.raises(FederationError):
+        ring.add_building("bldg-a")
+    assert ring.version == 1
+
+
+def test_assignments_independent_of_insertion_order():
+    ring_upfront = HashRing(["bldg-a", "bldg-b", "bldg-c", "bldg-d"])
+    ring_grown = HashRing(["bldg-c"])
+    ring_grown.add_building("bldg-a")
+    ring_grown.add_building("bldg-d")
+    ring_grown.add_building("bldg-b")
+    assert ring_grown.assignments(KEYS) == ring_upfront.assignments(KEYS)
+    # Same vnode placement, different history: only the version differs.
+    assert ring_upfront.version == 1
+    assert ring_grown.version == 4
+
+
+def test_add_delta_names_only_movers_and_targets_the_new_node():
+    ring = HashRing(["bldg-a", "bldg-b", "bldg-c"])
+    before = ring.assignments(KEYS)
+    delta = ring.add_building("bldg-d", keys=KEYS)
+    assert delta  # some keys must move at this population
+    for key, (old_home, new_home) in delta.items():
+        assert old_home == before[key]
+        assert new_home == "bldg-d"
+    for key in set(KEYS) - set(delta):
+        assert ring.node_for(key) == before[key]
+
+
+def test_add_then_remove_is_a_round_trip():
+    ring = HashRing(["bldg-a", "bldg-b", "bldg-c"])
+    before = ring.assignments(KEYS)
+    delta_in = ring.add_building("bldg-d", keys=KEYS)
+    delta_out = ring.remove_building("bldg-d", keys=KEYS)
+    assert ring.assignments(KEYS) == before
+    # The removal delta is the exact mirror of the addition delta.
+    assert set(delta_out) == set(delta_in)
+    for key, (old_home, new_home) in delta_out.items():
+        assert old_home == "bldg-d"
+        assert new_home == delta_in[key][0]
+    assert ring.version == 3
+
+
+def test_remove_delta_never_targets_the_removed_node():
+    ring = HashRing(["bldg-a", "bldg-b", "bldg-c", "bldg-d"])
+    delta = ring.remove_building("bldg-b", keys=KEYS)
+    assert delta
+    for key, (old_home, new_home) in delta.items():
+        assert old_home == "bldg-b"
+        assert new_home != "bldg-b"
+        assert ring.node_for(key) == new_home
+
+
+def test_empty_key_batch_gives_empty_delta_but_bumps_version():
+    ring = HashRing(["bldg-a", "bldg-b"])
+    assert ring.add_building("bldg-c") == {}
+    assert ring.version == 2
+    assert "bldg-c" in ring
